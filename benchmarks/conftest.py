@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes its rendered output under ``benchmarks/out/`` (and to stdout when
+run with ``-s``). Set ``REPRO_SCALE=2`` (or higher) to enlarge workloads
+toward the paper's sizes; the default keeps the whole suite laptop-fast.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+SCALE = int(os.environ.get("REPRO_SCALE", "1"))
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    """Workload scale multiplier (REPRO_SCALE env var)."""
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    """Directory where rendered tables/figures land."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(report_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered experiment and persist it."""
+    print()
+    print(text)
+    (report_dir / (name + ".txt")).write_text(text + "\n")

@@ -1,0 +1,39 @@
+"""Table 1 — memcached data compaction by dataset class and line size.
+
+Paper values (conventional bytes / HICAMP bytes):
+
+    dataset                LS=16   LS=32   LS=64
+    wikipedia (May'06)      1.71    1.50    1.29
+    facebook pages          4.27    3.87    3.11
+    facebook scripts        3.17    2.60    2.06
+    facebook images         0.90    1.03    1.07
+
+Expected shape: text compacts well and the factor falls with line size;
+high-entropy images sit near 1.0 and rise slightly with line size (DAG
+overhead shrinks).
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import run_table1
+
+
+def test_table1_memcached_compaction(benchmark, scale, report_dir):
+    result = benchmark.pedantic(lambda: run_table1(scale), rounds=1,
+                                iterations=1)
+    emit(report_dir, "table1_memcached_compaction", result.text)
+    by_dataset = result.data["by_dataset"]
+
+    # Shape assertions against the paper.
+    for dataset in ("wikipedia", "facebook", "scripts"):
+        cells = by_dataset[dataset]
+        assert cells[0] > 1.4, "%s should compact well at 16B" % dataset
+        assert cells[0] >= cells[2], \
+            "text compaction should fall with line size"
+    images = by_dataset["images"]
+    assert 0.8 <= images[0] <= 1.1, "images should not compact at 16B"
+    assert images[2] >= images[0], \
+        "image ratio should rise as DAG overhead shrinks"
+    # Facebook pages compact hardest among the text classes (paper: 4.27
+    # vs 1.71/3.17).
+    assert by_dataset["facebook"][0] > by_dataset["wikipedia"][0]

@@ -1,0 +1,106 @@
+"""Micro-validation — sequential access cost and map-update scaling.
+
+Two quantitative claims from the paper, checked against the real
+machinery:
+
+* section 3.3: "sequential access to a segment representing a dense
+  array is at most two times the number of lines of accessing the same
+  segment stored in a conventional memory system" (the footnote prices
+  this for 16-byte lines with 64-bit PLIDs; 32-bit PLIDs give 1.33x,
+  and the overhead shrinks with line size);
+* section 5.1.1: the cost of a key-value map update grows
+  logarithmically with the number of KVPs (the 2*log(N) argument), so
+  doubling N adds a constant, not a factor.
+"""
+
+import math
+
+from conftest import emit
+
+from repro import Machine, MachineConfig, MemoryConfig
+from repro.analysis.reporting import format_table
+from repro.params import CacheGeometry
+from repro.segments import dag
+from repro.structures.hmap import HMap
+
+
+def machine_for(line_bytes: int, plid_bytes: int, cache_kb: int = 4) -> Machine:
+    return Machine(MachineConfig(
+        memory=MemoryConfig(line_bytes=line_bytes, num_buckets=1 << 14,
+                            data_ways=12, overflow_lines=1 << 20,
+                            plid_bytes=plid_bytes),
+        # tiny cache: every distinct line access reaches DRAM
+        cache=CacheGeometry(size_bytes=cache_kb * 1024, ways=4,
+                            line_bytes=line_bytes),
+    ))
+
+
+def _sequential_rows():
+    rows = []
+    n_words = 8192
+    words = [(i * 2654435761) % (1 << 62) | 1 for i in range(n_words)]
+    for line_bytes in (16, 32, 64):
+        for plid_bytes in (8, 4):
+            machine = machine_for(line_bytes, plid_bytes)
+            vsid = machine.create_segment(words)
+            machine.drain()
+            before = machine.dram.snapshot()
+            with machine.snapshot(vsid) as snap:
+                got = snap.read_range(0, n_words)
+            assert got == words
+            reads = machine.dram.delta(before).reads
+            conventional_lines = n_words * 8 // line_bytes
+            rows.append([line_bytes, plid_bytes, reads, conventional_lines,
+                         reads / conventional_lines])
+    return rows
+
+
+def _map_scaling_rows():
+    rows = []
+    for n_items in (64, 256, 1024):
+        machine = machine_for(16, 8, cache_kb=8)
+        kvp = HMap.create(machine)
+        for i in range(n_items):
+            kvp.put(b"key-%06d" % i, b"v")
+        machine.drain()
+        before = machine.dram.snapshot()
+        probes = 32
+        for i in range(probes):
+            kvp.put(b"key-%06d" % (i * (n_items // probes)), b"w%d" % i)
+        machine.drain()
+        per_update = machine.dram.delta(before).total() / probes
+        rows.append([n_items, round(per_update, 1)])
+    return rows
+
+
+def test_sequential_access_overhead(benchmark, report_dir):
+    rows = benchmark.pedantic(_sequential_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["LS", "plid_bytes", "DAG line reads", "conventional lines",
+         "overhead"],
+        rows,
+        title="Section 3.3 claim: sequential dense access, HICAMP line "
+              "reads vs conventional")
+    emit(report_dir, "sequential_access_overhead", text)
+    for line_bytes, plid_bytes, reads, conv, overhead in rows:
+        # the paper's bound: at most 2x (worst case: 16B lines, 64-bit
+        # PLIDs); smaller for wider lines / narrower PLIDs
+        assert overhead <= 2.05, (line_bytes, plid_bytes, overhead)
+    worst = next(r for r in rows if r[0] == 16 and r[1] == 8)
+    best = next(r for r in rows if r[0] == 64 and r[1] == 4)
+    assert worst[4] > best[4]
+    assert best[4] < 1.25
+
+
+def test_map_update_scales_logarithmically(benchmark, report_dir):
+    rows = benchmark.pedantic(_map_scaling_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["N KVPs", "DRAM accesses per update"],
+        rows,
+        title="Section 5.1.1 claim: map update cost grows ~log(N)")
+    emit(report_dir, "map_update_scaling", text)
+    costs = {n: c for n, c in rows}
+    # 16x more items should cost far less than 16x more accesses —
+    # logarithmic, not linear, growth
+    assert costs[1024] < costs[64] * 3.0
+    assert costs[1024] > 0

@@ -1,0 +1,39 @@
+"""Figure 7 — SpMV off-chip memory accesses, HICAMP / conventional.
+
+Paper shape: plotted as log2(ratio) against matrix size, most matrices
+sit below 0 (HICAMP fewer accesses), with an average reduction around
+20% for larger-than-cache matrices and extreme winners among
+self-similar (patterned) matrices; a minority of unstructured matrices
+sit slightly above 0.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.analysis.experiments import run_figure7
+
+
+def test_figure7_spmv_offchip_accesses(benchmark, scale, report_dir):
+    result = benchmark.pedantic(lambda: run_figure7(scale), rounds=1,
+                                iterations=1)
+    emit(report_dir, "figure7_spmv_traffic", result.text)
+    results = result.data["results"]
+
+    ratios = [r for _, _, _, r in results]
+    wins = sum(1 for r in ratios if r < 1.0)
+    # Most matrices improve; the average improves by a paper-like margin.
+    assert wins >= len(ratios) * 0.6
+    # exclude the extreme patterned winners like the paper excluded its
+    # 4000x matrix, then check the ~20% band (generously: 5%..50%)
+    trimmed = [r for (spec, _, _, r) in results
+               if spec.category != "patterned"]
+    mean = sum(trimmed) / len(trimmed)
+    assert 0.5 <= mean <= 0.98, "trimmed mean ratio %.3f" % mean
+    # the patterned (self-similar) matrices are the extreme winners
+    patterned = [r for (spec, _, _, r) in results
+                 if spec.category == "patterned"]
+    assert min(patterned) < 0.2
+    # ratio correctness: both sides computed identical y (checked inside
+    # spmv_comparison); log2 axis must be finite
+    assert all(math.isfinite(math.log2(r)) for r in ratios)

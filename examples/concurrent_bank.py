@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The paper's bank example (section 2.2): a long-running, read-only
+audit runs over a consistent snapshot of all accounts while customer
+transactions keep committing — no locks, no copies, no stalls — plus
+merge-update counters absorbing contended increments (section 3.4).
+
+Run:  python examples/concurrent_bank.py
+"""
+
+from repro import Machine
+from repro.concurrency import Scheduler
+from repro.structures import HCounterArray
+
+N_ACCOUNTS = 200
+INITIAL_BALANCE = 1000
+
+
+def main() -> None:
+    machine = Machine()
+    accounts = machine.create_segment([INITIAL_BALANCE] * N_ACCOUNTS)
+    audited = []
+
+    def auditor():
+        # one snapshot = the consistent read of every account "at a given
+        # point in time", while transfers keep committing underneath
+        snap = machine.snapshot(accounts)
+        total = 0
+        for i in range(N_ACCOUNTS):
+            total += snap.read(i)
+            if i % 20 == 0:
+                yield  # the audit is long-running; transfers interleave
+        snap.release()
+        audited.append(total)
+
+    def teller(seed):
+        import random
+        rng = random.Random(seed)
+        for _ in range(50):
+            src, dst = rng.randrange(N_ACCOUNTS), rng.randrange(N_ACCOUNTS)
+            amount = rng.randint(1, 50)
+
+            def transfer(it, src=src, dst=dst, amount=amount):
+                it.put(it.get(src) - amount, offset=src)
+                it.put(it.get(dst) + amount, offset=dst)
+
+            machine.atomic_update(accounts, transfer, merge=True)
+            yield
+
+    sched = Scheduler(seed=11)
+    sched.spawn("audit", auditor())
+    for t in range(4):
+        sched.spawn("teller-%d" % t, teller(t))
+    sched.run()
+
+    final = sum(machine.read_segment(accounts))
+    print("audit total (snapshot):   %d" % audited[0])
+    print("final total (after 200 transfers): %d" % final)
+    assert audited[0] == N_ACCOUNTS * INITIAL_BALANCE, "audit saw a torn state!"
+    assert final == N_ACCOUNTS * INITIAL_BALANCE, "money was created/destroyed!"
+    print("snapshot isolation held; every transfer was atomic.")
+
+    # --- contended counters merge instead of aborting -------------------
+    hits = HCounterArray.create(machine, 4)
+    sched2 = Scheduler(seed=5)
+
+    def worker(wid):
+        for _ in range(25):
+            hits.add(wid % 4, 1)
+            yield
+
+    for w in range(8):
+        sched2.spawn("w%d" % w, worker(w))
+    sched2.run()
+    print("\nmerge-update counters:", hits.snapshot_values(),
+          "(8 workers x 25 increments, no lost updates)")
+    assert sum(hits.snapshot_values()) == 200
+
+
+if __name__ == "__main__":
+    main()

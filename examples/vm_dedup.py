@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""VM hosting on HICAMP (section 5.3): line-granularity deduplication of
+VM memory images vs ideal page sharing.
+
+Run:  python examples/vm_dedup.py
+"""
+
+from repro.apps.vmhost import measure_images
+from repro.workloads.vm_images import TILE_ROLES, _Pools, scale_vms, vmmark_tile
+
+
+def main() -> None:
+    print("Per-role scaling (Figure 9): compaction vs #VMs")
+    for role in ("database", "web", "standby"):
+        print("  %s:" % role)
+        for n in (1, 4, 10):
+            m = measure_images(role, scale_vms(role, n, seed=2))
+            print("    %2d VMs: allocated %5d KB | page sharing %.2fx "
+                  "| HICAMP 64B %.2fx"
+                  % (n, m.allocated_bytes // 1024,
+                     m.page_sharing_compaction, m.hicamp_compaction))
+
+    print("\nWhole tiles (Figure 10): six mixed VMs per tile")
+    pools = _Pools(2)
+    images = []
+    for t in range(4):
+        images.extend(vmmark_tile(t, pools, seed=2))
+        m = measure_images("tiles", list(images))
+        print("  %d tile(s), %2d VMs: page sharing %.2fx | HICAMP %.2fx"
+              % (t + 1, len(images), m.page_sharing_compaction,
+                 m.hicamp_compaction))
+
+    print("\nWhy HICAMP beats page sharing: a guest page with a few dirty"
+          "\n64-byte lines defeats page-level sharing entirely, but HICAMP"
+          "\nstill shares every untouched line of it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Analytical models and result rendering for the evaluation harness."""
+
+from repro.analysis.concurrent_model import (
+    ConcurrencyModel,
+    simulate_conflicts,
+)
+from repro.analysis.reporting import format_table, ratio_series
+
+__all__ = ["ConcurrencyModel", "simulate_conflicts", "format_table",
+           "ratio_series"]

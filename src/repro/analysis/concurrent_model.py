@@ -1,0 +1,101 @@
+"""The concurrent-performance model of section 5.1.1.
+
+The paper analyzes a memcached deployment — 8 processors, 200K commands
+per second, a 10:1 get:set ratio — and derives:
+
+* map-update latency: reloading the iterator register costs
+  ``log(N)`` DRAM reads to reach the leaf and the same again to
+  regenerate the path, so ``2 * levels * t_DRAM``; for N = 10^6 KVPs,
+  16-byte lines and t_DRAM = 50 ns that is 2 * 20 * 50 ns = 2 us;
+* conflict probability: update time over the mean interval between
+  sets — 2 us / 50 us = 0.04 (0.06 at N = 10^9);
+* merge-update latency: geometric series over the diverging-path depth,
+  2 * t_DRAM * (1 + 1/2 + 1/4 + ...) ~= 4 * t_DRAM = 200 ns.
+
+:class:`ConcurrencyModel` reproduces those formulas;
+:func:`simulate_conflicts` cross-checks them with a Monte Carlo
+simulation of Poisson set arrivals, and the merge machinery itself is
+cross-checked against :class:`repro.segments.merge.MergeStats` by the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class ConcurrencyModel:
+    """Closed-form model with the paper's default parameters."""
+
+    n_kvps: int = 1_000_000
+    commands_per_second: float = 200_000.0
+    get_to_set_ratio: float = 10.0
+    dram_latency_ns: float = 50.0
+    line_bytes: int = 16
+
+    @property
+    def set_interval_us(self) -> float:
+        """Mean microseconds between set commands.
+
+        The paper reads "10:1 get to set" as one set per ten commands
+        ("one set command is executed every 50 microseconds" at 200K
+        commands/s), so sets = commands / ratio.
+        """
+        sets_per_second = self.commands_per_second / self.get_to_set_ratio
+        return 1e6 / sets_per_second
+
+    @property
+    def dag_levels(self) -> float:
+        """Nodes from leaf to root of the KVP map.
+
+        The paper counts ``log2(N)`` for 16-byte lines and says the count
+        decreases proportionally for 32/64-byte lines.
+        """
+        base = math.log2(self.n_kvps)
+        return base / (self.line_bytes / 16)
+
+    @property
+    def map_update_time_us(self) -> float:
+        """2 * levels * t_DRAM: reload the path, regenerate the path."""
+        return 2 * self.dag_levels * self.dram_latency_ns / 1000.0
+
+    @property
+    def conflict_probability(self) -> float:
+        """Probability a set overlaps another set's map update window."""
+        return self.map_update_time_us / self.set_interval_us
+
+    @property
+    def merge_latency_ns(self) -> float:
+        """Average merge-update latency.
+
+        With uniformly distributed updates the probability that the two
+        versions diverge below level k halves per level, so the reloaded
+        and regenerated nodes form a geometric series:
+        2 * t_DRAM * (1 + 1/2 + 1/4 + ...) ~= 4 * t_DRAM.
+        """
+        return 4.0 * self.dram_latency_ns
+
+
+def simulate_conflicts(model: ConcurrencyModel, n_sets: int = 200_000,
+                       seed: int = 0) -> float:
+    """Monte Carlo conflict rate under Poisson set arrivals.
+
+    Each set occupies a ``map_update_time_us`` window; a conflict occurs
+    when the previous set's window is still open at this set's CAS point.
+    Returns the observed conflict fraction (should approach
+    ``conflict_probability`` for small probabilities).
+    """
+    rng = random.Random(seed)
+    window = model.map_update_time_us
+    mean_gap = model.set_interval_us
+    conflicts = 0
+    for _ in range(n_sets):
+        # the previous set's update window is still open if this set
+        # arrives (and snapshots) less than `window` after it started
+        gap = rng.expovariate(1.0 / mean_gap)
+        if gap < window:
+            conflicts += 1
+    return conflicts / n_sets

@@ -1,0 +1,383 @@
+"""Self-contained runners for every reproduced experiment.
+
+Each ``run_*`` function regenerates one of the paper's tables/figures
+(or one of this repo's validation/ablation studies) and returns an
+:class:`ExperimentResult` holding both the rendered text and the raw
+data. The pytest benchmarks in ``benchmarks/`` call these and assert the
+paper's shape claims on the data; the ``repro`` command-line tool calls
+them directly.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.analysis.concurrent_model import ConcurrencyModel, simulate_conflicts
+from repro.analysis.reporting import format_table, ratio_series, summarize_ratios
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered text plus raw data for one experiment."""
+
+    name: str
+    text: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Table 1
+
+TABLE1_LINE_SIZES = (16, 32, 64)
+TABLE1_DATASETS = ("wikipedia", "facebook", "scripts", "images")
+
+
+def run_table1(scale: int = 1) -> ExperimentResult:
+    """Table 1 — memcached data compaction per dataset and line size."""
+    from repro.apps.memcached.compaction import measure_compaction
+    from repro.workloads.text import corpus_for_dataset
+
+    rows = []
+    by_dataset: Dict[str, List[float]] = {}
+    for dataset in TABLE1_DATASETS:
+        corpus = corpus_for_dataset(dataset, seed=1)
+        if scale > 1:
+            corpus = corpus_for_dataset(dataset, seed=1,
+                                        n_items=corpus.spec.n_items * scale)
+        cells = [measure_compaction(corpus, ls).compaction
+                 for ls in TABLE1_LINE_SIZES]
+        by_dataset[dataset] = cells
+        rows.append([dataset, len(corpus.items), corpus.total_bytes]
+                    + [round(c, 2) for c in cells])
+    text = format_table(
+        ["dataset", "items", "bytes", "LS=16", "LS=32", "LS=64"], rows,
+        title="Table 1: memcached data compaction "
+              "(conventional bytes / HICAMP bytes)")
+    return ExperimentResult("table1", text, {"by_dataset": by_dataset})
+
+
+# ----------------------------------------------------------------------
+# Figure 6
+
+FIGURE6_LINE_SIZES = (16, 32, 64)
+
+
+def run_figure6(scale: int = 1) -> ExperimentResult:
+    """Figure 6 — memcached DRAM accesses by architecture and line size."""
+    from repro.apps.memcached.harness import figure6_row
+    from repro.workloads.traces import generate_workload
+
+    workload = generate_workload("facebook", n_requests=400 * scale,
+                                 seed=3, n_items=80 * scale)
+    results = {ls: figure6_row(workload, ls) for ls in FIGURE6_LINE_SIZES}
+    rows = []
+    ratios = []
+    for ls in FIGURE6_LINE_SIZES:
+        for arch in ("conventional", "hicamp"):
+            d = results[ls][arch].dram
+            rows.append([ls, arch, d.reads, d.writes, d.lookups, d.dealloc,
+                         d.refcount, d.total()])
+        conv = results[ls]["conventional"].dram.total()
+        hic = results[ls]["hicamp"].dram.total()
+        ratios.append((ls, hic / max(1, conv)))
+    text = format_table(
+        ["LS", "arch", "reads", "writes", "lookups", "dealloc", "RC",
+         "total"], rows,
+        title="Figure 6: memcached DRAM accesses per architecture/line size")
+    text += "\n\nHICAMP/conventional total ratio: " + "  ".join(
+        "LS=%d: %.2f" % (ls, r) for ls, r in ratios)
+    return ExperimentResult("figure6", text,
+                            {"results": results, "ratios": ratios})
+
+
+# ----------------------------------------------------------------------
+# Section 5.1.1
+
+def measure_merge_depth(n_words: int = 4096, trials: int = 40, seed: int = 7):
+    """Average diverging-path work of real merges of random single-word
+    updates (cross-checks the geometric-series argument)."""
+    from repro import Machine, MachineConfig, MemoryConfig
+    from repro.params import CacheGeometry
+    from repro.segments import dag
+    from repro.segments.merge import MergeStats, merge_roots
+
+    machine = Machine(MachineConfig(
+        memory=MemoryConfig(line_bytes=16, num_buckets=1 << 14,
+                            data_ways=12, overflow_lines=1 << 20,
+                            plid_bytes=8),
+        cache=CacheGeometry(size_bytes=1 << 19, ways=16, line_bytes=16),
+    ))
+    mem = machine.mem
+    rng = random.Random(seed)
+    base_words = [rng.getrandbits(62) | 1 for _ in range(n_words)]
+    base, height = dag.build_segment(mem, base_words)
+    total_levels = dag.height_for(mem, n_words)
+    depths = []
+    for _ in range(trials):
+        i, j = rng.randrange(n_words), rng.randrange(n_words)
+        mine = dag.write_words_bulk(
+            mem, dag.retain_entry(mem, base) and base, height,
+            {i: rng.getrandbits(62) | 1})
+        theirs = dag.write_words_bulk(
+            mem, dag.retain_entry(mem, base) and base, height,
+            {j: rng.getrandbits(62) | 1})
+        stats = MergeStats()
+        merged, _ = merge_roots(mem, (base, height), (mine, height),
+                                (theirs, height), stats=stats)
+        depths.append(stats.levels_descended + stats.leaf_merges)
+        for e in (mine, theirs, merged):
+            dag.release_entry(mem, e)
+    dag.release_entry(mem, base)
+    return sum(depths) / len(depths), total_levels
+
+
+def run_section511() -> ExperimentResult:
+    """Section 5.1.1 — the concurrent-performance analysis."""
+    rows = []
+    for n_kvps, line_bytes in ((10**6, 16), (10**9, 16), (10**6, 32),
+                               (10**6, 64)):
+        model = ConcurrencyModel(n_kvps=n_kvps, line_bytes=line_bytes)
+        simulated = simulate_conflicts(model, n_sets=100_000)
+        rows.append(["%.0e" % n_kvps, line_bytes,
+                     round(model.map_update_time_us, 2),
+                     round(model.conflict_probability, 3),
+                     round(simulated, 3),
+                     round(model.merge_latency_ns, 1)])
+    merge_depth, total_levels = measure_merge_depth()
+    text = format_table(
+        ["N KVPs", "LS", "update_us", "P(conflict)", "P(sim)", "merge_ns"],
+        rows,
+        title="Section 5.1.1: map-update latency, conflict probability, "
+              "merge latency (t_DRAM = 50 ns)")
+    text += ("\n\nMeasured merge work: %.1f diverging levels vs %d total "
+             "DAG levels (geometric-series argument: merges touch a short "
+             "path, not the whole update depth)" % (merge_depth, total_levels))
+    from repro.analysis.timing import measure_map_update_latency
+    latency = measure_map_update_latency(n_items=1024)
+    text += ("\n\nEmpirical map-update latency at N=%d: critical path "
+             "%.1f DRAM accesses = %.0f ns vs analytical 2*log2(N)*t = "
+             "%.0f ns (ratio %.2f); with background traffic (sig writes, "
+             "dealloc, RC): %.0f ns"
+             % (latency.n_items, latency.critical_accesses,
+                latency.critical_ns, latency.analytical_ns, latency.ratio,
+                latency.total_ns))
+    from repro.analysis.conflict_sim import run_conflict_storm
+    storms = [run_conflict_storm(shard_bits=bits, n_clients=8,
+                                 ops_per_client=12, get_ratio=0.5, seed=4)
+              for bits in (0, 2, 4)]
+    text += ("\n\nEmpirical conflict storm (8 clients, 50%% sets, "
+             "interleaved update windows):")
+    for m in storms:
+        text += ("\n  %-10s  CAS failures %d/%d (%.0f%%), resolved by "
+                 "merge-update; true conflicts needing app retry: %d"
+                 % (m.label, m.cas_failures, m.cas_attempts,
+                    100 * m.failure_rate, m.true_conflicts))
+    text += ("\n(the paper's closing §5.1.1 point: sharding the map "
+             "reduces conflicts further)")
+    return ExperimentResult("section511", text, {
+        "rows": rows, "merge_depth": merge_depth,
+        "total_levels": total_levels, "latency": latency,
+        "storms": storms,
+    })
+
+
+# ----------------------------------------------------------------------
+# Figures 7/8 + Table 2
+
+def run_figure7(scale: int = 1) -> ExperimentResult:
+    """Figure 7 — SpMV off-chip accesses, HICAMP/conventional."""
+    from repro.apps.spmv.kernels import spmv_comparison
+    from repro.workloads.matrices import matrix_suite
+
+    results = []
+    for spec in matrix_suite(scale=1):
+        hicamp, conventional = spmv_comparison(spec)
+        ratio = hicamp.dram_accesses / max(1, conventional.dram_accesses)
+        results.append((spec, hicamp, conventional, ratio))
+    points = sorted(((spec.nnz, ratio) for spec, _, _, ratio in results))
+    text = ratio_series(points,
+                        title="Figure 7: SpMV off-chip accesses, "
+                              "HICAMP/conventional (by matrix nnz)",
+                        x_label="nnz", y_label="ratio")
+    text += "\n\n" + "\n".join(
+        "%-18s %-9s fmt=%-4s hicamp=%7d conv=%7d ratio=%.2f" % (
+            spec.name, spec.category, h.fmt, h.dram_accesses,
+            c.dram_accesses, ratio)
+        for spec, h, c, ratio in results)
+    stats = summarize_ratios([r for _, _, _, r in results])
+    text += ("\n\nmean ratio=%.3f gmean=%.3f min=%.3f max=%.3f "
+             "(paper: ~20%% average reduction excluding the extreme "
+             "self-similar winner)" % (stats["mean"], stats["gmean"],
+                                       stats["min"], stats["max"]))
+    return ExperimentResult("figure7", text, {"results": results})
+
+
+def run_table2_figure8(scale: int = 1) -> ExperimentResult:
+    """Table 2 + Figure 8 — sparse matrix footprint vs CSR."""
+    from repro.apps.spmv.kernels import best_hicamp_footprint
+    from repro.workloads.matrices import matrix_suite
+
+    per_matrix = []
+    for spec in matrix_suite(scale=1):
+        fmt, hicamp_bytes = best_hicamp_footprint(spec)
+        csr_bytes = spec.csr_bytes()
+        per_matrix.append((spec, fmt, hicamp_bytes, csr_bytes,
+                           hicamp_bytes / csr_bytes))
+
+    def agg(matrices):
+        rs = [r for _, _, _, _, r in matrices]
+        return (len(matrices), 100.0 * sum(rs) / len(rs),
+                100.0 * (statistics.pstdev(rs) if len(rs) > 1 else 0.0))
+
+    groups = {
+        "All": per_matrix,
+        "Non-symmetric": [m for m in per_matrix if not m[0].symmetric],
+        "Symmetric": [m for m in per_matrix if m[0].symmetric],
+        "FEMs": [m for m in per_matrix if m[0].category == "fem"],
+        "LPs": [m for m in per_matrix if m[0].category == "lp"],
+    }
+    rows = []
+    for name, matrices in groups.items():
+        count, mean_pct, std_pct = agg(matrices)
+        rows.append([name, count, round(mean_pct, 1), round(std_pct, 1)])
+    text = format_table(
+        ["category", "matrices", "HICAMP bytes per 100 (mean)", "std dev"],
+        rows,
+        title="Table 2: sparse matrix compaction by category "
+              "(paper: All 62.7, Non-sym 58.5, Sym 76.9, FEM 70.7, LP 43.0)")
+    points = sorted(((spec.nnz, ratio)
+                     for spec, _, _, _, ratio in per_matrix))
+    text += "\n\n" + ratio_series(
+        points, title="Figure 8: per-matrix footprint ratio HICAMP/CSR",
+        x_label="nnz", y_label="ratio")
+    text += "\n\n" + "\n".join(
+        "%-18s %-9s fmt=%-4s hicamp=%8d csr=%8d ratio=%.3f" % (
+            spec.name, spec.category, fmt, hic, csr, ratio)
+        for spec, fmt, hic, csr, ratio in per_matrix)
+    return ExperimentResult("table2_figure8", text, {
+        "per_matrix": per_matrix,
+        "category_rows": rows,
+        "ratios": {row[0]: row[2] for row in rows},
+    })
+
+
+# ----------------------------------------------------------------------
+# Figures 9 / 10
+
+VM_COUNTS = (1, 2, 4, 6, 8, 10)
+TILE_COUNTS = (1, 2, 3, 4, 5, 6)
+
+
+def run_figure9(seed: int = 2) -> ExperimentResult:
+    """Figure 9 — per-role VM memory scaling."""
+    from repro.apps.vmhost.study import measure_images
+    from repro.workloads.vm_images import TILE_ROLES, scale_vms
+
+    measurements = {}
+    rows = []
+    for role in TILE_ROLES:
+        series = [measure_images(role, scale_vms(role, n, seed=seed))
+                  for n in VM_COUNTS]
+        measurements[role] = series
+        for m in series:
+            rows.append([role, m.n_vms, m.allocated_bytes // 1024,
+                         m.page_sharing_bytes // 1024,
+                         m.hicamp_bytes // 1024,
+                         round(m.page_sharing_compaction, 2),
+                         round(m.hicamp_compaction, 2)])
+    text = format_table(
+        ["role", "VMs", "allocKB", "pageshareKB", "hicampKB", "ps_x",
+         "hicamp_x"], rows,
+        title="Figure 9: per-role VM memory, allocated vs ideal page "
+              "sharing vs HICAMP (64B lines)")
+    return ExperimentResult("figure9", text, {"measurements": measurements})
+
+
+def run_figure10(seed: int = 2) -> ExperimentResult:
+    """Figure 10 — whole-tile VM memory scaling."""
+    from repro.apps.vmhost.study import measure_images
+    from repro.workloads.vm_images import TILE_ROLES, _Pools, vmmark_tile
+
+    pools = _Pools(seed)
+    images: list = []
+    series = []
+    for t in TILE_COUNTS:
+        images.extend(vmmark_tile(t, pools, seed=seed))
+        series.append(measure_images("tiles", list(images)))
+    rows = [[len(TILE_ROLES) * (i + 1), m.allocated_bytes // 1024,
+             m.page_sharing_bytes // 1024, m.hicamp_bytes // 1024,
+             round(m.page_sharing_compaction, 2),
+             round(m.hicamp_compaction, 2)]
+            for i, m in enumerate(series)]
+    text = format_table(
+        ["VMs", "allocKB", "pageshareKB", "hicampKB", "ps_x", "hicamp_x"],
+        rows,
+        title="Figure 10: VMmark tile memory, allocated vs page sharing "
+              "vs HICAMP (64B lines)")
+    return ExperimentResult("figure10", text, {"series": series})
+
+
+#: Registry used by the CLI and by documentation.
+RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "figure6": run_figure6,
+    "section511": run_section511,
+    "figure7": run_figure7,
+    "table2_figure8": run_table2_figure8,
+    "figure9": run_figure9,
+    "figure10": run_figure10,
+}
+
+
+def headline_metrics(result: ExperimentResult) -> Dict[str, Any]:
+    """Flat, JSON-safe headline numbers for one experiment.
+
+    Used by ``repro experiments --json`` so downstream tooling (plots,
+    dashboards, regression tracking) can consume runs without parsing
+    the rendered text.
+    """
+    name, data = result.name, result.data
+    if name == "table1":
+        return {"compaction_%s_ls%d" % (ds, ls): round(cells[i], 3)
+                for ds, cells in data["by_dataset"].items()
+                for i, ls in enumerate(TABLE1_LINE_SIZES)}
+    if name == "figure6":
+        out = {}
+        for ls, ratio in data["ratios"]:
+            out["hicamp_over_conventional_ls%d" % ls] = round(ratio, 3)
+        return out
+    if name == "section511":
+        latency = data["latency"]
+        out = {
+            "merge_depth_levels": round(data["merge_depth"], 2),
+            "total_dag_levels": data["total_levels"],
+            "map_update_critical_ns": round(latency.critical_ns, 1),
+            "map_update_analytical_ns": round(latency.analytical_ns, 1),
+        }
+        for storm in data.get("storms", []):
+            out["cas_failure_rate_%s" % storm.label] = round(
+                storm.failure_rate, 3)
+        return out
+    if name == "figure7":
+        ratios = [r for _, _, _, r in data["results"]]
+        stats = summarize_ratios(ratios)
+        return {"mean_traffic_ratio": round(stats["mean"], 3),
+                "gmean_traffic_ratio": round(stats["gmean"], 3),
+                "min_traffic_ratio": round(stats["min"], 3),
+                "max_traffic_ratio": round(stats["max"], 3)}
+    if name == "table2_figure8":
+        return {"bytes_per_100_%s" % key.lower().replace("-", "_"): value
+                for key, value in data["ratios"].items()}
+    if name == "figure9":
+        return {"hicamp_x_%s_at_%d" % (role, series[-1].n_vms):
+                round(series[-1].hicamp_compaction, 2)
+                for role, series in data["measurements"].items()}
+    if name == "figure10":
+        last = data["series"][-1]
+        return {"hicamp_x_tiles": round(last.hicamp_compaction, 2),
+                "page_sharing_x_tiles": round(last.page_sharing_compaction,
+                                              2)}
+    return {}

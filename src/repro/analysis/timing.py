@@ -1,0 +1,105 @@
+"""Latency estimation over the access-count simulator.
+
+The paper's performance arguments (section 5.1.1) price operations as a
+count of serial DRAM accesses times a 50 ns latency; everything on-chip
+is treated as (nearly) free. :class:`TimingModel` applies the same
+pricing to measured access counts, and
+:func:`measure_map_update_latency` closes the loop: it runs real
+key-value map updates on the simulator, prices them, and compares
+against the closed-form 2·levels·t_DRAM estimate for the same map size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.memory.stats import DramStats
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Serial-access latency pricing (the paper's §5.1.1 convention)."""
+
+    dram_ns: float = 50.0
+    cache_hit_ns: float = 2.0
+
+    def dram_time_ns(self, delta: DramStats) -> float:
+        """Price a block of DRAM accesses as a serial sequence."""
+        return delta.total() * self.dram_ns
+
+    def op_time_ns(self, delta: DramStats, cache_hits: int = 0) -> float:
+        """DRAM serial time plus on-chip hit time."""
+        return self.dram_time_ns(delta) + cache_hits * self.cache_hit_ns
+
+
+@dataclass
+class MapUpdateLatency:
+    """Measured vs analytical latency of one KVP-map update.
+
+    The paper's 2·levels·t_DRAM estimate counts only the *critical path*:
+    the path reload (data reads) plus one signature read per regenerated
+    node — "signature read and compare are on the critical path of
+    acquiring a PLID for new content, but other operations (updating
+    signature line, etc.) are not and can be performed in parallel".
+    ``total_*`` additionally includes that background traffic (candidate
+    reads, signature writes, deallocation of the old path, RC spills).
+    """
+
+    n_items: int
+    critical_accesses: float
+    critical_ns: float
+    total_accesses: float
+    total_ns: float
+    analytical_ns: float
+
+    @property
+    def ratio(self) -> float:
+        """Critical-path measured over analytical (1.0 = the estimate)."""
+        return self.critical_ns / self.analytical_ns
+
+
+def measure_map_update_latency(n_items: int = 1024, probes: int = 32,
+                               model: TimingModel = None) -> MapUpdateLatency:
+    """Run real map updates and price them against the §5.1.1 formula.
+
+    Uses the paper's configuration for this analysis: 16-byte lines with
+    64-bit PLIDs (so levels ~ log2(N)) and a cache small enough that the
+    update path misses, as the paper's worst-case estimate assumes.
+    """
+    from repro import Machine, MachineConfig, MemoryConfig
+    from repro.params import CacheGeometry
+    from repro.structures.hmap import HMap
+
+    if model is None:
+        model = TimingModel()
+    machine = Machine(MachineConfig(
+        memory=MemoryConfig(line_bytes=16, num_buckets=1 << 14,
+                            data_ways=12, overflow_lines=1 << 20,
+                            plid_bytes=8),
+        cache=CacheGeometry(size_bytes=8 * 1024, ways=4, line_bytes=16),
+    ))
+    kvp = HMap.create(machine)
+    for i in range(n_items):
+        kvp.put(b"key-%06d" % i, b"v")
+    machine.drain()
+    before = machine.dram.snapshot()
+    allocs_before = machine.mem.store.counters.allocations
+    for i in range(probes):
+        kvp.put(b"key-%06d" % (i * (n_items // probes)), b"w%d" % i)
+    machine.drain()
+    delta = machine.dram.delta(before)
+    allocations = machine.mem.store.counters.allocations - allocs_before
+    # critical path: path-reload reads + one signature read per node
+    # regenerated (i.e. per fresh allocation)
+    critical = delta.reads + allocations
+    critical_accesses = critical / probes
+    critical_ns = critical * model.dram_ns / probes
+    total_accesses = delta.total() / probes
+    total_ns = model.dram_time_ns(delta) / probes
+    # the paper's estimate: reload the path (levels reads) + regenerate
+    # the path (levels signature reads), each a DRAM access
+    levels = math.log2(max(2, n_items))
+    analytical_ns = 2 * levels * model.dram_ns
+    return MapUpdateLatency(n_items, critical_accesses, critical_ns,
+                            total_accesses, total_ns, analytical_ns)

@@ -1,0 +1,3 @@
+"""The paper's evaluated applications: memcached (section 5.1), sparse
+matrix kernels (section 5.2), and VM-hosting deduplication (section 5.3).
+"""

@@ -1,0 +1,122 @@
+"""Workload runner for the memcached traffic study (Figure 6).
+
+Runs the same preload + request trace against the HICAMP server and the
+conventional model, measuring the DRAM accesses of the request phase
+(the paper's traces were likewise captured while serving requests over a
+pre-loaded cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.apps.memcached.conventional import ConventionalMemcached
+from repro.apps.memcached.server import HicampMemcached
+from repro.core.machine import Machine
+from repro.memory.stats import DramStats
+from repro.params import (
+    CacheGeometry,
+    ConventionalConfig,
+    MachineConfig,
+    MemoryConfig,
+)
+from repro.workloads.traces import MemcachedWorkload
+
+#: Cache scaled with the scaled-down corpus (the paper used a 4 MB L2
+#: against ~3 GB datasets; we keep the dataset-to-cache ratio >> 1).
+MEMCACHED_CACHE_BYTES = 32 * 1024
+MEMCACHED_L1_BYTES = 8 * 1024
+
+
+@dataclass
+class TrafficResult:
+    """DRAM accesses of the request phase on one architecture."""
+
+    arch: str
+    line_bytes: int
+    dram: DramStats
+    get_hit_rate: float
+
+
+def hicamp_machine_for_traffic(line_bytes: int) -> Machine:
+    """A HICAMP machine with the scaled cache.
+
+    Uses 64-bit PLIDs: the paper's own map-update arithmetic for this
+    experiment (section 5.1.1, "log2(N) total for 16-byte lines") assumes
+    two references per 16-byte line, i.e. 8-byte PLIDs, and footnote 6
+    prices the DAG overhead accordingly. Footprint studies (Table 1)
+    default to the 32-bit PLIDs of footnote 5 instead.
+    """
+    return Machine(MachineConfig(
+        memory=MemoryConfig(line_bytes=line_bytes, num_buckets=1 << 15,
+                            data_ways=12, overflow_lines=1 << 21,
+                            plid_bytes=8),
+        cache=CacheGeometry(size_bytes=MEMCACHED_CACHE_BYTES, ways=16,
+                            line_bytes=line_bytes),
+    ))
+
+
+def conventional_config_for_traffic(line_bytes: int) -> ConventionalConfig:
+    """The matching scaled conventional hierarchy."""
+    return ConventionalConfig(
+        line_bytes=line_bytes,
+        l1=CacheGeometry(size_bytes=MEMCACHED_L1_BYTES, ways=4,
+                         line_bytes=line_bytes),
+        l2=CacheGeometry(size_bytes=MEMCACHED_CACHE_BYTES, ways=16,
+                         line_bytes=line_bytes),
+    )
+
+
+def run_hicamp(workload: MemcachedWorkload, line_bytes: int) -> TrafficResult:
+    """Preload, then measure request-phase DRAM traffic on HICAMP."""
+    machine = hicamp_machine_for_traffic(line_bytes)
+    server = HicampMemcached(machine)
+    for key, value in workload.preload.items():
+        server.set(key, value)
+    machine.drain()
+    before = machine.dram.snapshot()
+    for req in workload.requests:
+        if req.op == "get":
+            server.get(req.key)
+        elif req.op == "set":
+            server.set(req.key, req.value)
+        else:
+            server.delete(req.key)
+    machine.drain()
+    delta = machine.dram.delta(before)
+    hits = server.stats.get_hits / max(1, server.stats.gets)
+    return TrafficResult("hicamp", line_bytes, delta, hits)
+
+
+def run_conventional(workload: MemcachedWorkload,
+                     line_bytes: int) -> TrafficResult:
+    """The same trace against the conventional memcached model."""
+    server = ConventionalMemcached(conventional_config_for_traffic(line_bytes))
+    for key, value in workload.preload.items():
+        server.set(key, value)
+    server.mem.drain()
+    before = server.mem.dram.snapshot()
+    gets = hits = 0
+    for req in workload.requests:
+        if req.op == "get":
+            gets += 1
+            if server.get(req.key) is not None:
+                hits += 1
+        elif req.op == "set":
+            server.set(req.key, req.value)
+        else:
+            server.delete(req.key)
+    server.mem.drain()
+    delta = server.mem.dram.delta(before)
+    return TrafficResult("conventional", line_bytes, delta,
+                         hits / max(1, gets))
+
+
+def figure6_row(workload: MemcachedWorkload,
+                line_bytes: int) -> Dict[str, TrafficResult]:
+    """Both architectures at one line size — one pair of Figure 6 bars."""
+    return {
+        "conventional": run_conventional(workload, line_bytes),
+        "hicamp": run_hicamp(workload, line_bytes),
+    }

@@ -1,0 +1,185 @@
+"""The memcached ASCII protocol (the paper's section 4.4 command set).
+
+Implements the classic text protocol for the commands the paper lists —
+get/gets, set/add/replace, delete, incr/decr, cas — over any server
+object with the :class:`~repro.apps.memcached.server.HicampMemcached`
+method surface. On HICAMP the point is that this layer is all a client
+*needs*: the data itself is shared by reference, so "parsing" is the
+only per-request software cost left.
+
+Example::
+
+    handler = ProtocolHandler(HicampMemcached(Machine()))
+    handler.handle(b"set greeting 0 0 5\\r\\nhello\\r\\n")
+    handler.handle(b"get greeting\\r\\n")
+    # -> b"VALUE greeting 0 5\\r\\nhello\\r\\nEND\\r\\n"
+"""
+
+from __future__ import annotations
+
+import binascii
+from typing import List, Optional, Tuple
+
+CRLF = b"\r\n"
+
+
+class ProtocolError(Exception):
+    """Malformed request line or payload."""
+
+
+def parse_request(data: bytes) -> Tuple[bytes, List[bytes], Optional[bytes]]:
+    """Split a raw request into (command, arguments, payload).
+
+    Storage commands carry a data block whose length is announced in the
+    request line; retrieval commands are a single line.
+    """
+    if CRLF not in data:
+        raise ProtocolError("unterminated request line")
+    line, rest = data.split(CRLF, 1)
+    parts = line.split()
+    if not parts:
+        raise ProtocolError("empty request")
+    command, args = parts[0], parts[1:]
+    if command in (b"set", b"add", b"replace", b"cas"):
+        if len(args) < 4:
+            raise ProtocolError("storage command needs key flags exptime bytes")
+        try:
+            nbytes = int(args[3])
+        except ValueError:
+            raise ProtocolError("bad byte count %r" % args[3])
+        payload = rest[:nbytes]
+        if len(payload) != nbytes or rest[nbytes:nbytes + 2] != CRLF:
+            raise ProtocolError("payload length mismatch")
+        return command, args, payload
+    return command, args, None
+
+
+class ProtocolHandler:
+    """Stateless request → response translation over a server object."""
+
+    def __init__(self, server) -> None:
+        self.server = server
+
+    # ------------------------------------------------------------------
+
+    def handle(self, data: bytes) -> bytes:
+        """Process one complete request; returns the wire response."""
+        try:
+            command, args, payload = parse_request(data)
+        except ProtocolError as exc:
+            return b"CLIENT_ERROR %s\r\n" % str(exc).encode()
+        try:
+            name = command.decode("ascii")
+        except UnicodeDecodeError:
+            return b"ERROR\r\n"
+        handler = getattr(self, "_cmd_%s" % name, None)
+        if handler is None:
+            return b"ERROR\r\n"
+        try:
+            return handler(args, payload)
+        except ProtocolError as exc:
+            return b"CLIENT_ERROR %s\r\n" % str(exc).encode()
+
+    # ------------------------------------------------------------------
+    # retrieval
+
+    def _cmd_get(self, args, payload) -> bytes:
+        out = []
+        for key in args:
+            value = self.server.get(key)
+            if value is not None:
+                out.append(b"VALUE %s 0 %d\r\n%s\r\n" % (key, len(value), value))
+        out.append(b"END\r\n")
+        return b"".join(out)
+
+    def _cmd_gets(self, args, payload) -> bytes:
+        out = []
+        for key in args:
+            got = self.server.gets(key)
+            if got is not None:
+                value, token = got
+                out.append(b"VALUE %s 0 %d %d\r\n%s\r\n" % (
+                    key, len(value), binascii.crc32(token), value))
+        out.append(b"END\r\n")
+        return b"".join(out)
+
+    # ------------------------------------------------------------------
+    # storage
+
+    def _exptime(self, args) -> int:
+        try:
+            return max(0, int(args[2]))
+        except (ValueError, IndexError):
+            raise ProtocolError("bad exptime %r" % args[2:3])
+
+    def _store(self, method, args, payload) -> bool:
+        exptime = self._exptime(args)
+        try:
+            return method(args[0], payload, exptime=exptime)
+        except TypeError:
+            # servers without TTL support (the plain HicampMemcached)
+            return method(args[0], payload)
+
+    def _cmd_set(self, args, payload) -> bytes:
+        self._store(self.server.set, args, payload)
+        return b"STORED\r\n"
+
+    def _cmd_add(self, args, payload) -> bytes:
+        return b"STORED\r\n" if self._store(self.server.add, args, payload) \
+            else b"NOT_STORED\r\n"
+
+    def _cmd_replace(self, args, payload) -> bytes:
+        return b"STORED\r\n" \
+            if self._store(self.server.replace, args, payload) \
+            else b"NOT_STORED\r\n"
+
+    def _cmd_cas(self, args, payload) -> bytes:
+        if len(args) < 5:
+            raise ProtocolError("cas needs a token")
+        got = self.server.gets(args[0])
+        if got is None:
+            return b"NOT_FOUND\r\n"
+        _, token = got
+        try:
+            presented = int(args[4])
+        except ValueError:
+            raise ProtocolError("bad cas token")
+        if presented != binascii.crc32(token):
+            return b"EXISTS\r\n"
+        return b"STORED\r\n" if self.server.cas(args[0], payload, token) \
+            else b"EXISTS\r\n"
+
+    # ------------------------------------------------------------------
+    # deletion / arithmetic
+
+    def _cmd_delete(self, args, payload) -> bytes:
+        if not args:
+            raise ProtocolError("delete needs a key")
+        return b"DELETED\r\n" if self.server.delete(args[0]) \
+            else b"NOT_FOUND\r\n"
+
+    def _cmd_incr(self, args, payload) -> bytes:
+        return self._arith(args, +1)
+
+    def _cmd_decr(self, args, payload) -> bytes:
+        return self._arith(args, -1)
+
+    def _arith(self, args, sign) -> bytes:
+        if len(args) < 2:
+            raise ProtocolError("incr/decr need key and delta")
+        try:
+            delta = int(args[1])
+        except ValueError:
+            raise ProtocolError("bad delta %r" % args[1])
+        result = self.server.incr(args[0], sign * delta)
+        if result is None:
+            return b"NOT_FOUND\r\n"
+        return b"%d\r\n" % result
+
+    def _cmd_stats(self, args, payload) -> bytes:
+        stats = self.server.stats
+        lines = [b"STAT %s %d\r\n" % (name.encode(), getattr(stats, name))
+                 for name in ("gets", "get_hits", "sets", "deletes")]
+        lines.append(b"STAT curr_items %d\r\n" % self.server.item_count())
+        lines.append(b"END\r\n")
+        return b"".join(lines)

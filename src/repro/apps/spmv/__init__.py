@@ -1,0 +1,25 @@
+"""Sparse matrix-vector multiplication study (section 5.2).
+
+* :mod:`repro.apps.spmv.csr` — the conventional baseline: CSR and
+  symmetric-CSR layouts in flat memory, with the SpMV kernel's address
+  trace fed to the cache-hierarchy simulator;
+* :mod:`repro.apps.spmv.kernels` — the HICAMP side: quad-tree (QTS) and
+  non-zero-dense (NZD) formats with DRAM-traffic measurement, plus the
+  format auto-chooser and footprint comparison used by Table 2 /
+  Figures 7-8.
+"""
+
+from repro.apps.spmv.csr import CsrMatrix, csr_spmv_traffic
+from repro.apps.spmv.kernels import (
+    best_hicamp_footprint,
+    hicamp_spmv_traffic,
+    spmv_comparison,
+)
+
+__all__ = [
+    "CsrMatrix",
+    "csr_spmv_traffic",
+    "best_hicamp_footprint",
+    "hicamp_spmv_traffic",
+    "spmv_comparison",
+]

@@ -1,0 +1,13 @@
+"""An in-memory database on HICAMP (the intro's web/database scenario
+and the last paragraph of section 4.4).
+
+Client threads hold read-only references and process queries against
+private snapshots; query results are *views* — new segments whose
+entries reference the row data in place, copying nothing; updates commit
+atomically through the segment map, and multi-table transactions commit
+all-or-nothing.
+"""
+
+from repro.apps.webdb.db import Database, QueryView, Table
+
+__all__ = ["Database", "Table", "QueryView"]

@@ -1,0 +1,11 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+* ``repro experiments`` — regenerate the paper's tables and figures;
+* ``repro memcached``   — an interactive memcached (ASCII protocol) REPL
+  running on a HICAMP machine;
+* ``repro demo``        — a quick tour of the architecture's behaviours.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,181 @@
+"""``repro`` — the command-line front end of the reproduction.
+
+Examples::
+
+    repro experiments --list
+    repro experiments table1 figure6
+    repro experiments --all --out results/
+    repro memcached            # interactive protocol REPL
+    repro demo                 # one-minute architecture tour
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import RUNNERS, headline_metrics
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    names = list(RUNNERS) if args.all or not args.names else args.names
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        print("unknown experiment(s): %s" % ", ".join(unknown),
+              file=sys.stderr)
+        print("available: %s" % ", ".join(RUNNERS), file=sys.stderr)
+        return 2
+    out_dir: Optional[pathlib.Path] = None
+    if args.out:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    all_metrics = {}
+    for name in names:
+        runner = RUNNERS[name]
+        kwargs = {}
+        if "scale" in runner.__code__.co_varnames[:runner.__code__.co_argcount]:
+            kwargs["scale"] = args.scale
+        result = runner(**kwargs)
+        metrics = headline_metrics(result)
+        all_metrics[name] = metrics
+        if args.json:
+            import json
+            print(json.dumps({name: metrics}, indent=2))
+        else:
+            print(result.text)
+            print()
+        if out_dir is not None:
+            (out_dir / (name + ".txt")).write_text(result.text + "\n")
+    if out_dir is not None:
+        import json
+        (out_dir / "metrics.json").write_text(
+            json.dumps(all_metrics, indent=2) + "\n")
+    return 0
+
+
+def _cmd_experiments_list(_args: argparse.Namespace) -> int:
+    for name, runner in RUNNERS.items():
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print("%-16s %s" % (name, doc))
+    return 0
+
+
+def _cmd_memcached(args: argparse.Namespace) -> int:
+    from repro import Machine
+    from repro.apps.memcached.eviction import ManagedMemcached
+    from repro.apps.memcached.protocol import ProtocolHandler
+
+    machine = Machine()
+    server = ManagedMemcached(machine, quota_bytes=args.quota)
+    handler = ProtocolHandler(server)
+    stream = sys.stdin
+    print("# repro memcached on a HICAMP machine — ASCII protocol, one "
+          "request per line;\n# storage commands take the payload on the "
+          "next line. Ctrl-D to quit.", file=sys.stderr)
+    while True:
+        line = stream.readline()
+        if not line:
+            break
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        request = line.encode() + b"\r\n"
+        command = line.split(None, 1)[0] if line.split() else ""
+        if command in ("set", "add", "replace", "cas"):
+            payload = stream.readline().rstrip("\n").encode()
+            request += payload + b"\r\n"
+        response = handler.handle(request)
+        sys.stdout.write(response.decode(errors="replace"))
+        sys.stdout.flush()
+    print("# footprint: %d bytes in %d unique lines"
+          % (machine.footprint_bytes(), machine.footprint_lines()),
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro import Machine
+    from repro.structures import HMap, HString
+
+    machine = Machine()
+    print("== content-unique lines & segments ==")
+    a = HString.create(machine, b"hello, content-addressable world")
+    before = machine.footprint_lines()
+    b = HString.create(machine, b"hello, content-addressable world")
+    print("second identical string allocated %d new lines"
+          % (machine.footprint_lines() - before))
+    print("equality is one root compare:", a.equals(b))
+
+    print("\n== snapshots & copy-on-write ==")
+    v = machine.create_segment(list(range(8)))
+    snap = machine.snapshot(v)
+    machine.write_word(v, 0, 999)
+    print("live segment:", machine.read_segment(v))
+    print("snapshot    :", snap.words())
+    snap.release()
+
+    print("\n== the memcached map ==")
+    kv = HMap.create(machine)
+    kv.put(b"k", b"v")
+    print("get k ->", kv.get(b"k"))
+
+    print("\n== DRAM traffic so far ==")
+    print(machine.dram.as_dict())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HICAMP (ASPLOS 2012) reproduction tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser(
+        "experiments",
+        help="regenerate the paper's tables and figures")
+    p_exp.add_argument("names", nargs="*",
+                       help="experiment ids (default: all); see --list")
+    p_exp.add_argument("--all", action="store_true",
+                       help="run every experiment")
+    p_exp.add_argument("--list", action="store_true",
+                       help="list available experiments and exit")
+    p_exp.add_argument("--scale", type=int, default=1,
+                       help="workload scale multiplier (default 1)")
+    p_exp.add_argument("--out", help="directory to write rendered outputs")
+    p_exp.add_argument("--json", action="store_true",
+                       help="print headline metrics as JSON instead of tables")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_mc = sub.add_parser(
+        "memcached",
+        help="interactive memcached protocol REPL on a HICAMP machine")
+    p_mc.add_argument("--quota", type=int, default=None,
+                      help="memory quota in bytes (enables LRU eviction)")
+    p_mc.set_defaults(func=_cmd_memcached)
+
+    p_demo = sub.add_parser("demo", help="one-minute architecture tour")
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "experiments" and args.list:
+            return _cmd_experiments_list(args)
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

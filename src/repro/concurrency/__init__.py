@@ -1,0 +1,12 @@
+"""Deterministic concurrency simulation.
+
+The paper's concurrency claims (snapshot isolation, write-write-only
+conflicts, merge-update under contention) are *semantic*; this package
+provides a deterministic scheduler that interleaves generator-based tasks
+at explicit yield points so those semantics can be exercised and tested
+reproducibly, without real threads.
+"""
+
+from repro.concurrency.scheduler import Scheduler, Task
+
+__all__ = ["Scheduler", "Task"]

@@ -1,0 +1,92 @@
+"""A deterministic cooperative scheduler for concurrency tests.
+
+Tasks are Python generators; every ``yield`` is a preemption point.
+Operations performed between two yields are atomic with respect to other
+tasks — which matches the architecture's model, where the only shared
+mutable state is the segment map and each CAS/commit is one atomic step.
+
+The scheduler can run round-robin or with a seeded pseudo-random
+interleaving, so races are reproducible::
+
+    def writer(machine, vsid, value):
+        yield                      # let others get a snapshot first
+        machine.write_word(vsid, 0, value)
+        yield
+
+    sched = Scheduler(seed=7)
+    sched.spawn("w1", writer(m, v, 1))
+    sched.spawn("w2", writer(m, v, 2))
+    sched.run()
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+
+@dataclass
+class Task:
+    """One schedulable task wrapping a generator."""
+
+    name: str
+    gen: Generator
+    steps: int = 0
+    done: bool = False
+    result: Any = None
+    error: Optional[BaseException] = None
+
+
+class Scheduler:
+    """Deterministic interleaving of cooperative tasks."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed) if seed is not None else None
+        self.tasks: List[Task] = []
+        self.total_steps = 0
+
+    def spawn(self, name: str, gen: Generator) -> Task:
+        """Register a task; it starts running on :meth:`run`."""
+        task = Task(name=name, gen=gen)
+        self.tasks.append(task)
+        return task
+
+    def _pick(self, runnable: List[Task]) -> Task:
+        if self._rng is not None:
+            return self._rng.choice(runnable)
+        return runnable[self.total_steps % len(runnable)]
+
+    def step(self) -> bool:
+        """Advance one task by one yield; False when all tasks finished."""
+        runnable = [t for t in self.tasks if not t.done]
+        if not runnable:
+            return False
+        task = self._pick(runnable)
+        try:
+            task.gen.send(None)
+            task.steps += 1
+        except StopIteration as stop:
+            task.done = True
+            task.result = stop.value
+        except BaseException as exc:  # surfaced after run()
+            task.done = True
+            task.error = exc
+        self.total_steps += 1
+        return True
+
+    def run(self, max_steps: int = 1_000_000, raise_errors: bool = True) -> None:
+        """Run until every task completes (or ``max_steps``)."""
+        steps = 0
+        while self.step():
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("scheduler exceeded %d steps" % max_steps)
+        if raise_errors:
+            for task in self.tasks:
+                if task.error is not None:
+                    raise task.error
+
+    def results(self) -> Dict[str, Any]:
+        """Task name → return value."""
+        return {t.name: t.result for t in self.tasks}

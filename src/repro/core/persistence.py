@@ -1,0 +1,173 @@
+"""Checkpoint and restore of a machine's memory image.
+
+A pure-Python simulator is slow, so long experiments want to build a
+state once (preload a cache, load VM images, assemble matrices) and
+reuse it. :func:`save_machine` serializes the deduplicated store — every
+line with its tagged words and exact PLID — plus the segment map, to a
+JSON document; :func:`load_machine` reconstructs a machine whose PLIDs,
+VSIDs, refcounts and dedup behaviour are identical to the original
+(content lookups after a restore find the pre-existing lines).
+
+Caches, DRAM counters and iterator registers are *not* part of the image
+(they are transient microarchitectural state); a restored machine starts
+cold.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.machine import Machine
+from repro.memory import hashing
+from repro.memory.line import Inline, Line, PlidRef, encode_line
+from repro.params import CacheGeometry, MachineConfig, MemoryConfig
+from repro.segments.segment_map import MapEntry, SegmentFlags
+
+FORMAT_VERSION = 1
+
+
+def _word_to_json(word) -> Any:
+    if isinstance(word, int):
+        return word
+    if isinstance(word, PlidRef):
+        return {"t": "P", "p": word.plid, "q": list(word.path)}
+    if isinstance(word, Inline):
+        return {"t": "I", "w": word.width, "v": list(word.values),
+                "s": word.span}
+    raise TypeError("unserializable word %r" % (word,))
+
+
+def _word_from_json(obj) -> Any:
+    if isinstance(obj, int):
+        return obj
+    if obj["t"] == "P":
+        return PlidRef(obj["p"], tuple(obj["q"]))
+    if obj["t"] == "I":
+        return Inline(width=obj["w"], values=tuple(obj["v"]), span=obj["s"])
+    raise ValueError("bad word record %r" % (obj,))
+
+
+def _entry_to_json(entry) -> Any:
+    return 0 if entry == 0 else _word_to_json(entry)
+
+
+def _entry_from_json(obj) -> Any:
+    return 0 if obj == 0 else _word_from_json(obj)
+
+
+def machine_image(machine: Machine) -> Dict[str, Any]:
+    """The machine's durable state as a JSON-safe document."""
+    store = machine.mem.store
+    mc = machine.config
+    lines = {str(plid): [_word_to_json(w) for w in store.peek(plid)]
+             for plid in store.live_plids()}
+    refcounts = {str(plid): store.refcount(plid)
+                 for plid in store.live_plids()}
+    segmap = {
+        str(vsid): {
+            "root": _entry_to_json(entry.root),
+            "height": entry.height,
+            "length": entry.length,
+            "flags": int(entry.flags),
+            "version": entry.version,
+        }
+        for vsid, entry in machine.segmap._entries.items()
+    }
+    return {
+        "format": FORMAT_VERSION,
+        "config": {
+            "line_bytes": mc.memory.line_bytes,
+            "num_buckets": mc.memory.num_buckets,
+            "data_ways": mc.memory.data_ways,
+            "overflow_lines": mc.memory.overflow_lines,
+            "plid_bytes": mc.memory.plid_bytes,
+            "cache_bytes": mc.cache.size_bytes,
+            "cache_ways": mc.cache.ways,
+            "path_compaction": mc.path_compaction,
+            "data_compaction": mc.data_compaction,
+            "iterator_registers": mc.iterator_registers,
+            "n_processors": mc.n_processors,
+        },
+        "next_overflow": store._next_overflow,
+        "free_overflow": list(store._free_overflow),
+        "overflow_bucket": {str(p): b
+                            for p, b in store._overflow_bucket.items()},
+        "lines": lines,
+        "refcounts": refcounts,
+        "segmap": segmap,
+        "next_vsid": machine.segmap._next_vsid,
+    }
+
+
+def save_machine(machine: Machine, path: str) -> None:
+    """Write a machine image to ``path``."""
+    with open(path, "w") as f:
+        json.dump(machine_image(machine), f)
+
+
+def restore_machine(image: Dict[str, Any]) -> Machine:
+    """Reconstruct a machine from an image document."""
+    if image.get("format") != FORMAT_VERSION:
+        raise ValueError("unsupported image format %r" % image.get("format"))
+    cfg = image["config"]
+    machine = Machine(MachineConfig(
+        memory=MemoryConfig(line_bytes=cfg["line_bytes"],
+                            num_buckets=cfg["num_buckets"],
+                            data_ways=cfg["data_ways"],
+                            overflow_lines=cfg["overflow_lines"],
+                            plid_bytes=cfg["plid_bytes"]),
+        cache=CacheGeometry(size_bytes=cfg["cache_bytes"],
+                            ways=cfg["cache_ways"],
+                            line_bytes=cfg["line_bytes"]),
+        path_compaction=cfg["path_compaction"],
+        data_compaction=cfg["data_compaction"],
+        iterator_registers=cfg["iterator_registers"],
+        n_processors=cfg["n_processors"],
+    ))
+    store = machine.mem.store
+    num_buckets = store.config.num_buckets
+
+    # restore lines at their exact PLIDs, rebuilding the bucket indexes
+    for plid_str, words in image["lines"].items():
+        plid = int(plid_str)
+        line: Line = tuple(_word_from_json(w) for w in words)
+        enc = encode_line(line)
+        bucket_idx = (int(image["overflow_bucket"].get(plid_str,
+                                                       plid % num_buckets))
+                      if plid >= store._overflow_base
+                      else plid % num_buckets)
+        bucket = store._buckets.get(bucket_idx)
+        if bucket is None:
+            from repro.memory.dedup_store import _Bucket
+            bucket = _Bucket(signatures=[0] * (store.config.data_ways + 1))
+            store._buckets[bucket_idx] = bucket
+        if plid >= store._overflow_base:
+            bucket.overflow.append(plid)
+            store._overflow_bucket[plid] = bucket_idx
+        else:
+            way = plid // num_buckets
+            bucket.signatures[way] = hashing.signature(enc)
+        bucket.by_encoding[enc] = plid
+        store._lines[plid] = line
+        store._refcounts[plid] = image["refcounts"][plid_str]
+    store._next_overflow = image["next_overflow"]
+    store._free_overflow = list(image["free_overflow"])
+
+    # restore the segment map
+    for vsid_str, rec in image["segmap"].items():
+        machine.segmap._entries[int(vsid_str)] = MapEntry(
+            root=_entry_from_json(rec["root"]),
+            height=rec["height"],
+            length=rec["length"],
+            flags=SegmentFlags(rec["flags"]),
+            version=rec["version"],
+        )
+    machine.segmap._next_vsid = image["next_vsid"]
+    return machine
+
+
+def load_machine(path: str) -> Machine:
+    """Read a machine image from ``path``."""
+    with open(path) as f:
+        return restore_machine(json.load(f))

@@ -1,0 +1,149 @@
+"""Non-blocking atomic update and merge-update transactions.
+
+The architecture's update protocol (section 2.2):
+
+1. save the root PLID of the original segment;
+2. modify the segment, producing a new root PLID;
+3. CAS the new root over the original in the segment map, retrying on
+   interference.
+
+:func:`atomic_update` packages that loop over an iterator register;
+:func:`mcas` is the paper's mCAS pseudocode (section 3.4), resolving CAS
+failures by merge-update until a true conflict appears.
+:class:`MultiSegmentCommit` models the atomic multi-segment commit
+obtained when the segment map itself is a HICAMP segment (section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import CasFailedError, MergeConflictError
+from repro.memory.system import MemorySystem
+from repro.segments import dag
+from repro.segments.dag import Entry
+from repro.segments.iterator import IteratorRegister
+from repro.segments.merge import MergeStats, merge_roots
+from repro.segments.segment_map import SegmentMap
+
+
+def mcas(mem: MemorySystem, segmap: SegmentMap, vsid: int,
+         old: Tuple[Entry, int], new: Tuple[Entry, int], new_length: int,
+         stats: Optional[MergeStats] = None) -> bool:
+    """The paper's ``mCAS(old, curAddr, new)`` on a segment-map entry.
+
+    ``old`` is the base version the update was computed from (borrowed);
+    ``new`` is the updated version (caller-owned reference, consumed
+    whether or not the operation succeeds). Returns False only on a true
+    merge conflict.
+    """
+    old_root, old_height = old
+    new_root, new_height = new
+    while True:
+        if segmap.cas_root(vsid, old_root, old_height,
+                           new_root, new_height, new_length):
+            return True
+        entry = segmap.entry(vsid)
+        cur = (entry.root, entry.height)
+        try:
+            merged_root, merged_height = merge_roots(
+                mem, (old_root, old_height), (new_root, new_height), cur,
+                stats=stats,
+            )
+        except MergeConflictError:
+            dag.release_entry(mem, new_root)
+            return False
+        dag.release_entry(mem, new_root)
+        new_root, new_height = merged_root, merged_height
+        old_root, old_height = cur
+        new_length = max(new_length, entry.length)
+
+
+def atomic_update(it: IteratorRegister, update: Callable[[IteratorRegister], None],
+                  merge: bool = False, max_retries: int = 64,
+                  merge_stats: Optional[MergeStats] = None) -> None:
+    """Run ``update(it)`` against a snapshot and commit atomically.
+
+    The register must already be loaded. On CAS failure the snapshot is
+    reloaded and ``update`` re-run — unless ``merge`` is set (or the
+    segment carries the MERGE_UPDATE flag), in which case merge-update
+    folds the changes in without re-running. Raises
+    :class:`CasFailedError` after ``max_retries`` lost races and
+    :class:`MergeConflictError` on a true merge conflict.
+    """
+    from repro.segments.segment_map import SegmentFlags
+
+    mem, segmap, vsid = it.mem, it.segmap, it.vsid
+    use_merge = merge or bool(segmap.entry(vsid).flags & SegmentFlags.MERGE_UPDATE)
+    for _ in range(max_retries):
+        update(it)
+        if it.try_commit():
+            return
+        if use_merge:
+            base = (it.snapshot_root, it.height)
+            new_root, new_height = it.build_updated_root()
+            length = it.length
+            if mcas(mem, segmap, vsid, base, (new_root, new_height), length,
+                    stats=merge_stats):
+                it.load(vsid, it.offset)
+                return
+            raise MergeConflictError(
+                "merge-update failed with a true conflict on VSID %d" % vsid
+            )
+        it.load(vsid, it.offset)  # fresh snapshot, then re-run update
+    raise CasFailedError("atomic update on VSID %d exceeded %d retries"
+                         % (vsid, max_retries))
+
+
+class MultiSegmentCommit:
+    """Atomic update of several segments at once.
+
+    When the segment map is itself a HICAMP segment, committing a revised
+    map publishes every revised segment in one CAS (section 2.3). This
+    class models that: it snapshots the version of each enrolled segment,
+    buffers new roots, and applies all of them only if no enrolled entry
+    changed in between.
+    """
+
+    def __init__(self, mem: MemorySystem, segmap: SegmentMap) -> None:
+        self._mem = mem
+        self._segmap = segmap
+        self._base_versions: Dict[int, int] = {}
+        self._staged: Dict[int, Tuple[Entry, int, int]] = {}
+
+    def enroll(self, vsid: int) -> None:
+        """Include a segment in the transaction's conflict footprint."""
+        if vsid not in self._base_versions:
+            self._base_versions[vsid] = self._segmap.entry(vsid).version
+
+    def stage(self, vsid: int, new_root: Entry, new_height: int,
+              new_length: int) -> None:
+        """Buffer a new version for ``vsid`` (takes over the caller's
+        reference on ``new_root``); not visible until :meth:`commit`."""
+        self.enroll(vsid)
+        if vsid in self._staged:
+            dag.release_entry(self._mem, self._staged[vsid][0])
+        self._staged[vsid] = (new_root, new_height, new_length)
+
+    def commit(self) -> bool:
+        """Apply all staged roots iff no enrolled segment changed.
+
+        Returns False (and discards the staged versions) on conflict —
+        the revised segments were never visible to other threads.
+        """
+        for vsid, version in self._base_versions.items():
+            if self._segmap.entry(vsid).version != version:
+                self.abort()
+                return False
+        for vsid, (root, height, length) in self._staged.items():
+            self._segmap.set_root(vsid, root, height, length)
+        self._staged.clear()
+        self._base_versions.clear()
+        return True
+
+    def abort(self) -> None:
+        """Discard staged versions, releasing their references."""
+        for root, _, _ in self._staged.values():
+            dag.release_entry(self._mem, root)
+        self._staged.clear()
+        self._base_versions.clear()

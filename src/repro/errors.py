@@ -1,0 +1,49 @@
+"""Exception hierarchy for the HICAMP simulator.
+
+All library-raised errors derive from :class:`HicampError` so callers can
+catch simulator failures distinctly from programming errors.
+"""
+
+
+class HicampError(Exception):
+    """Base class for all HICAMP simulator errors."""
+
+
+class MemoryExhaustedError(HicampError):
+    """The deduplicated store (including its overflow area) is full."""
+
+
+class BadPlidError(HicampError):
+    """A PLID does not name an allocated line (dangling or forged)."""
+
+
+class BadVsidError(HicampError):
+    """A VSID does not name a live segment-map entry."""
+
+
+class ReadOnlyError(HicampError):
+    """Attempted update through a read-only segment reference."""
+
+
+class CasFailedError(HicampError):
+    """A compare-and-swap on a segment-map root PLID lost a race."""
+
+
+class MergeConflictError(HicampError):
+    """Merge-update found a true data conflict (distinct PLIDs stored
+    into the same field by concurrent updates, section 3.4)."""
+
+
+class IteratorStateError(HicampError):
+    """An iterator register was used in an invalid state (e.g. committing
+    an unloaded register, or writing through a read-only reference)."""
+
+
+class SegmentRangeError(HicampError):
+    """An offset falls outside a segment's addressable range."""
+
+
+class IntegrityError(HicampError):
+    """A line read from DRAM fails the content-hash check (section 3.1:
+    recomputing the hash of the contents and comparing it to the hash
+    bucket the line was read from detects corruption beyond ECC)."""

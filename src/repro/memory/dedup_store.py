@@ -1,0 +1,447 @@
+"""The deduplicated main memory (section 3.1, Figure 2).
+
+DRAM is divided into hash buckets, each modelling one DRAM row. A bucket
+holds a *signature line* (one 8-bit signature per data way), a
+*reference-count line*, and a number of data ways. A line lives in the
+bucket selected by the hash of its content; its PLID is the concatenation
+of its way number and its bucket number. When a bucket is full, lines
+spill into a shared overflow area reached through the bucket's overflow
+pointer.
+
+The two fundamental operations are:
+
+* :meth:`DedupStore.read_dram` — fetch a line by PLID (one DRAM read);
+* :meth:`DedupStore.lookup` — find-or-allocate a line by content: read the
+  signature line, compare signatures, read candidate data lines on
+  signature match, and on a miss claim an empty way and update the
+  signature line. The new line's data write is *deferred*: it is charged
+  only when the cache eventually writes it back
+  (:meth:`DedupStore.writeback`), matching section 3.1.
+
+Reference counts are maintained exactly — incremented by content lookups
+that match and by stores of a PLID into another line or a segment-map
+entry, decremented when such a reference is dropped — and deallocation is
+recursive over a line's tagged child PLIDs (the paper's hardware state
+machine). RC traffic is filtered through a modelled RC cache so only
+spills/fills reach the DRAM counters, as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import BadPlidError, IntegrityError, MemoryExhaustedError
+from repro.memory import hashing
+from repro.memory.line import (
+    Line,
+    ZERO_PLID,
+    encode_line,
+    is_zero_line,
+    line_child_plids,
+    zero_line,
+)
+from repro.memory.stats import DramStats, RowBuffer
+from repro.params import MemoryConfig
+
+
+@dataclass
+class _Bucket:
+    """One hash bucket (DRAM row): signatures plus resident way → PLID."""
+
+    signatures: List[int]
+    by_encoding: Dict[bytes, int] = field(default_factory=dict)
+    overflow: List[int] = field(default_factory=list)
+
+
+@dataclass
+class StoreCounters:
+    """Operation-level counters (diagnostics beyond the DRAM categories)."""
+
+    lookups: int = 0
+    lookup_hits: int = 0
+    allocations: int = 0
+    deallocations: int = 0
+    overflow_allocations: int = 0
+    signature_false_positives: int = 0
+
+
+class _RcCache:
+    """LRU model of reference-count caching (section 3.1).
+
+    A newly allocated line's RC is created directly in the cache and
+    propagated to DRAM only on eviction; RC updates for uncached lines
+    first fill from DRAM. Only fills and dirty evictions are charged.
+    """
+
+    def __init__(self, capacity: int, stats: DramStats, rows: RowBuffer,
+                 row_of) -> None:
+        self._capacity = max(1, capacity)
+        self._stats = stats
+        self._rows = rows
+        self._row_of = row_of
+        self._entries: "OrderedDict[int, bool]" = OrderedDict()  # plid -> dirty
+
+    def touch(self, plid: int, creating: bool = False) -> None:
+        """Record an RC update to ``plid``, charging DRAM on fill/spill."""
+        if plid in self._entries:
+            self._entries.move_to_end(plid)
+            self._entries[plid] = True
+            return
+        if not creating:
+            self._stats.refcount += 1  # fill the RC entry from DRAM
+            self._rows.access(self._row_of(plid))
+        self._entries[plid] = True
+        if len(self._entries) > self._capacity:
+            victim, dirty = self._entries.popitem(last=False)
+            if dirty:
+                self._stats.refcount += 1  # spill dirty RC entry to DRAM
+                self._rows.access(self._row_of(victim))
+
+    def drop(self, plid: int) -> None:
+        """Discard the entry for a deallocated line (no writeback)."""
+        self._entries.pop(plid, None)
+
+    def flush(self) -> None:
+        """Write back every dirty entry (end-of-run accounting)."""
+        for _, dirty in self._entries.items():
+            if dirty:
+                self._stats.refcount += 1
+        self._entries.clear()
+
+
+class DedupStore:
+    """Deduplicated, reference-counted, content-addressable line store."""
+
+    def __init__(self, config: Optional[MemoryConfig] = None,
+                 rc_cache_entries: int = 1 << 16,
+                 verify_reads: bool = False) -> None:
+        self.config = config or MemoryConfig()
+        #: recompute content hashes on every DRAM read (section 3.1's
+        #: extra error-detection; off by default for speed)
+        self.verify_reads = verify_reads
+        self.stats = DramStats()
+        self.counters = StoreCounters()
+        self._num_buckets = self.config.num_buckets
+        self._data_ways = self.config.data_ways
+        self._overflow_base = (self._data_ways + 1) * self._num_buckets
+        self._next_overflow = self._overflow_base
+        self._free_overflow: List[int] = []
+        self._buckets: Dict[int, _Bucket] = {}
+        self._lines: Dict[int, Line] = {}
+        self._refcounts: Dict[int, int] = {}
+        self._pending_write: Set[int] = set()
+        self._overflow_bucket: Dict[int, int] = {}
+        #: open-row DRAM model (hash bucket == DRAM row, section 3.1)
+        self.rows = RowBuffer()
+        self._rc_cache = _RcCache(rc_cache_entries, self.stats, self.rows,
+                                  self._row_of)
+        self._zero = zero_line(self.config.words_per_line)
+        #: callbacks invoked with a PLID just before it is deallocated
+        #: (the cache registers here to invalidate its copy).
+        self.dealloc_listeners: List = []
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+
+    @property
+    def words_per_line(self) -> int:
+        """Words per line (DAG fan-out)."""
+        return self.config.words_per_line
+
+    def _row_of(self, plid: int) -> int:
+        """DRAM row of a line: its hash bucket, or an overflow-area row."""
+        if plid >= self._overflow_base:
+            return self._num_buckets + (plid - self._overflow_base) // 64
+        return plid % self._num_buckets
+
+    def bucket_of(self, plid: int) -> int:
+        """Hash-bucket index of a PLID (the cache indexes on these bits)."""
+        if plid >= self._overflow_base:
+            return self._overflow_bucket.get(plid, plid % self._num_buckets)
+        return plid % self._num_buckets
+
+    def is_allocated(self, plid: int) -> bool:
+        """True when ``plid`` names a live line (the zero line is always live)."""
+        return plid == ZERO_PLID or plid in self._lines
+
+    # ------------------------------------------------------------------
+    # fundamental operations
+
+    def read_dram(self, plid: int) -> Line:
+        """Read a line from DRAM by PLID, charging one DRAM read.
+
+        The zero PLID is recognized without a memory access. When
+        ``verify_reads`` is enabled, the content hash is recomputed and
+        compared to the hash bucket the line lives in — the intrinsic
+        error-detection capability of section 3.1.
+        """
+        if plid == ZERO_PLID:
+            return self._zero
+        try:
+            line = self._lines[plid]
+        except KeyError:
+            raise BadPlidError("read of unallocated PLID %d" % plid)
+        self.stats.reads += 1
+        self.rows.access(self._row_of(plid))
+        if self.verify_reads:
+            self.verify_line(plid, line)
+        return line
+
+    def verify_line(self, plid: int, line: Optional[Line] = None) -> None:
+        """Check a line's content hash against its bucket (section 3.1).
+
+        Overflow-resident lines carry no hash constraint (they were
+        placed by capacity, not content); for bucket-resident lines a
+        mismatch raises :class:`IntegrityError`.
+        """
+        if plid == ZERO_PLID:
+            return
+        if line is None:
+            line = self.peek(plid)
+        if plid >= self._overflow_base:
+            return
+        expected = hashing.bucket_hash(encode_line(line), self._num_buckets)
+        if expected != plid % self._num_buckets:
+            raise IntegrityError(
+                "PLID %d content hashes to bucket %d but lives in bucket %d"
+                % (plid, expected, plid % self._num_buckets))
+
+    def corrupt_line_for_test(self, plid: int, line: Line) -> None:
+        """Fault injection: silently replace a line's stored content.
+
+        Test-only hook for exercising :meth:`verify_line` — bypasses the
+        content indexes on purpose, exactly like a DRAM bit flip would.
+        """
+        if plid not in self._lines:
+            raise BadPlidError("cannot corrupt unallocated PLID %d" % plid)
+        self._lines[plid] = line
+        for listener in self.dealloc_listeners:
+            listener(plid)  # drop any clean cached copy
+
+    def peek(self, plid: int) -> Line:
+        """Read a line without charging DRAM traffic (used by the cache
+        after it has accounted the access itself, and by test assertions)."""
+        if plid == ZERO_PLID:
+            return self._zero
+        try:
+            return self._lines[plid]
+        except KeyError:
+            raise BadPlidError("read of unallocated PLID %d" % plid)
+
+    def lookup(self, line: Line) -> Tuple[int, bool]:
+        """Find-or-allocate ``line`` by content.
+
+        Returns ``(plid, created)``. The returned reference is counted: a
+        matching lookup increments the line's reference count; a fresh
+        allocation starts it at one (section 3.1).
+
+        DRAM charging follows the paper's step list: one signature-line
+        read; one data-line read per signature match (false positives cost
+        extra reads); on allocation, one signature-line write. The data
+        line itself is written back later by the cache.
+        """
+        if is_zero_line(line):
+            return ZERO_PLID, False
+        enc = encode_line(line)
+        bucket_idx = hashing.bucket_hash(enc, self._num_buckets)
+        sig = hashing.signature(enc)
+        bucket = self._buckets.get(bucket_idx)
+        if bucket is None:
+            bucket = _Bucket(signatures=[0] * (self._data_ways + 1))
+            self._buckets[bucket_idx] = bucket
+
+        self.counters.lookups += 1
+        self.stats.lookups += 1  # signature line read
+        self.rows.access(bucket_idx)
+
+        matches = sum(1 for s in bucket.signatures if s == sig)
+        existing = bucket.by_encoding.get(enc)
+        if existing is not None:
+            # Read each candidate data line with a matching signature —
+            # all within the same DRAM row as the signature line.
+            self.stats.lookups += max(1, matches)
+            for _ in range(max(1, matches)):
+                self.rows.access(bucket_idx)
+            self.counters.signature_false_positives += max(0, matches - 1)
+            self.counters.lookup_hits += 1
+            self._refcounts[existing] += 1
+            self._rc_cache.touch(existing)
+            return existing, False
+        if matches:
+            # Signature collisions with different content: candidate reads.
+            self.stats.lookups += matches
+            for _ in range(matches):
+                self.rows.access(bucket_idx)
+            self.counters.signature_false_positives += matches
+        # Check the overflow chain for this bucket.
+        for plid in bucket.overflow:
+            self.stats.lookups += 1
+            self.rows.access(self._row_of(plid))
+            if self._lines[plid] == line:
+                self.counters.lookup_hits += 1
+                self._refcounts[plid] += 1
+                self._rc_cache.touch(plid)
+                return plid, False
+
+        plid = self._allocate(line, enc, bucket_idx, sig, bucket)
+        return plid, True
+
+    def _allocate(self, line: Line, enc: bytes, bucket_idx: int, sig: int,
+                  bucket: _Bucket) -> int:
+        """Claim a way (or an overflow slot) for new content."""
+        way = next(
+            (w for w in range(1, self._data_ways + 1) if bucket.signatures[w] == 0),
+            None,
+        )
+        if way is not None:
+            plid = way * self._num_buckets + bucket_idx
+            bucket.signatures[way] = sig
+            self.stats.lookups += 1  # signature line written back
+            self.rows.access(bucket_idx)
+        else:
+            if self._free_overflow:
+                plid = self._free_overflow.pop()
+            else:
+                plid = self._next_overflow
+                self._next_overflow += 1
+                if plid - self._overflow_base >= self.config.overflow_lines:
+                    raise MemoryExhaustedError(
+                        "overflow area exhausted (%d lines)"
+                        % self.config.overflow_lines
+                    )
+            bucket.overflow.append(plid)
+            self._overflow_bucket[plid] = bucket_idx
+            self.counters.overflow_allocations += 1
+            self.stats.lookups += 1  # overflow pointer update
+            self.rows.access(bucket_idx)
+        bucket.by_encoding[enc] = plid
+        self._lines[plid] = line
+        self._refcounts[plid] = 1
+        self._pending_write.add(plid)
+        self._rc_cache.touch(plid, creating=True)
+        self.counters.allocations += 1
+        # A new line takes one reference on each child PLID it stores
+        # (hardware tracks sharing through the per-word tags).
+        for child in line_child_plids(line):
+            self._refcounts[child] += 1
+            self._rc_cache.touch(child)
+        return plid
+
+    def writeback(self, plid: int) -> None:
+        """Charge the deferred DRAM write of a newly created line.
+
+        Called by the cache when a dirty (never-yet-written) line is
+        evicted. A line deallocated before eviction is never written.
+        """
+        if plid in self._pending_write and plid in self._lines:
+            self._pending_write.discard(plid)
+            self.stats.writes += 1
+            self.rows.access(self._row_of(plid))
+
+    # ------------------------------------------------------------------
+    # reference counting
+
+    def refcount(self, plid: int) -> int:
+        """Current reference count of a line (0 for the zero line)."""
+        if plid == ZERO_PLID:
+            return 0
+        return self._refcounts.get(plid, 0)
+
+    def incref(self, plid: int, count: int = 1) -> None:
+        """Add references to a line (a PLID was stored somewhere)."""
+        if plid == ZERO_PLID or count == 0:
+            return
+        if plid not in self._refcounts:
+            raise BadPlidError("incref of unallocated PLID %d" % plid)
+        self._refcounts[plid] += count
+        self._rc_cache.touch(plid)
+
+    def decref(self, plid: int, count: int = 1) -> None:
+        """Drop references to a line, deallocating (recursively) at zero."""
+        if plid == ZERO_PLID or count == 0:
+            return
+        # Iterative worklist: recursive deallocation may cascade deeply
+        # (the paper handles this with a hardware state machine).
+        work: List[Tuple[int, int]] = [(plid, count)]
+        while work:
+            p, c = work.pop()
+            if p == ZERO_PLID:
+                continue
+            rc = self._refcounts.get(p)
+            if rc is None:
+                raise BadPlidError("decref of unallocated PLID %d" % p)
+            rc -= c
+            if rc > 0:
+                self._refcounts[p] = rc
+                self._rc_cache.touch(p)
+                continue
+            if rc < 0:
+                raise BadPlidError("refcount underflow on PLID %d" % p)
+            for child in line_child_plids(self._lines[p]):
+                work.append((child, 1))
+            self._deallocate(p)
+
+    def _deallocate(self, plid: int) -> None:
+        """Free a line: zero its signature and release its way."""
+        for listener in self.dealloc_listeners:
+            listener(plid)
+        line = self._lines.pop(plid)
+        enc = encode_line(line)
+        bucket_idx = self.bucket_of(plid)
+        bucket = self._buckets[bucket_idx]
+        bucket.by_encoding.pop(enc, None)
+        if plid >= self._overflow_base:
+            bucket.overflow.remove(plid)
+            self._overflow_bucket.pop(plid, None)
+            self._free_overflow.append(plid)
+        else:
+            bucket.signatures[plid // self._num_buckets] = 0
+        del self._refcounts[plid]
+        self._pending_write.discard(plid)
+        self._rc_cache.drop(plid)
+        self.counters.deallocations += 1
+        # Zeroing the signature is one DRAM access; a line deallocated
+        # before its deferred write never reaches DRAM at all.
+        self.stats.dealloc += 1
+        self.rows.access(self._row_of(plid))
+
+    # ------------------------------------------------------------------
+    # accounting / inspection
+
+    def footprint_lines(self) -> int:
+        """Number of allocated (unique) lines, excluding the zero line."""
+        return len(self._lines)
+
+    def footprint_bytes(self) -> int:
+        """Bytes of DRAM consumed by allocated data lines."""
+        return len(self._lines) * self.config.line_bytes
+
+    def flush_rc_cache(self) -> None:
+        """Spill all dirty cached reference counts (end-of-run accounting)."""
+        self._rc_cache.flush()
+
+    def live_plids(self) -> List[int]:
+        """All allocated PLIDs (test/diagnostic helper)."""
+        return list(self._lines)
+
+    def check_refcounts(self) -> None:
+        """Verify stored refcounts equal actual in-memory references.
+
+        Counts references from line words only; callers owning root
+        references (segment maps, iterator registers, Python handles) must
+        account for them separately. Raises ``AssertionError`` on drift.
+        Test/diagnostic helper — O(lines).
+        """
+        internal: Dict[int, int] = {}
+        for line in self._lines.values():
+            for child in line_child_plids(line):
+                internal[child] = internal.get(child, 0) + 1
+        for plid, rc in self._refcounts.items():
+            inside = internal.get(plid, 0)
+            if rc < inside:
+                raise AssertionError(
+                    "PLID %d refcount %d below internal references %d"
+                    % (plid, rc, inside)
+                )

@@ -1,0 +1,98 @@
+"""The composed HICAMP memory system: deduplicating DRAM behind the
+HICAMP cache.
+
+This is the interface the rest of the simulator programs against. It
+exposes the architecture's two fundamental operations plus hardware
+reference counting:
+
+* :meth:`MemorySystem.read` — line by PLID;
+* :meth:`MemorySystem.lookup` — find-or-allocate by content (the returned
+  reference is counted);
+* :meth:`MemorySystem.incref` / :meth:`MemorySystem.decref` — reference
+  management, with recursive deallocation handled by the store.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.memory.cache import HicampCache
+from repro.memory.dedup_store import DedupStore
+from repro.memory.line import Line, zero_line
+from repro.memory.stats import DramStats
+from repro.params import MachineConfig
+
+
+class MemorySystem:
+    """Deduplicated DRAM + HICAMP cache, with unified traffic accounting."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+        self.store = DedupStore(self.config.memory,
+                                verify_reads=self.config.memory.verify_reads)
+        self.cache = HicampCache(self.store, self.config.cache)
+        self._zero = zero_line(self.config.memory.words_per_line)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def words_per_line(self) -> int:
+        """Data words per leaf line."""
+        return self.config.memory.words_per_line
+
+    @property
+    def fanout(self) -> int:
+        """Child entries per interior line (the DAG fan-out)."""
+        return self.config.memory.fanout
+
+    @property
+    def line_bytes(self) -> int:
+        """Line size in bytes."""
+        return self.config.memory.line_bytes
+
+    @property
+    def dram(self) -> DramStats:
+        """Off-chip DRAM access counters (the paper's headline metric)."""
+        return self.store.stats
+
+    def read(self, plid: int) -> Line:
+        """Read a line by PLID through the cache."""
+        return self.cache.read(plid)
+
+    def lookup(self, line: Line) -> int:
+        """Find-or-allocate a line by content; the reference is counted."""
+        return self.cache.lookup(line)
+
+    def incref(self, plid: int, count: int = 1) -> None:
+        """Add references to a line (a PLID value was copied/stored)."""
+        self.store.incref(plid, count)
+
+    def decref(self, plid: int, count: int = 1) -> None:
+        """Drop references; lines reaching zero are recursively freed."""
+        self.store.decref(plid, count)
+
+    def refcount(self, plid: int) -> int:
+        """Current reference count of a line."""
+        return self.store.refcount(plid)
+
+    def zero(self) -> Line:
+        """The all-zero line for this geometry."""
+        return self._zero
+
+    # ------------------------------------------------------------------
+
+    def footprint_lines(self) -> int:
+        """Unique allocated lines in DRAM."""
+        return self.store.footprint_lines()
+
+    def footprint_bytes(self) -> int:
+        """Bytes of DRAM consumed by unique lines."""
+        return self.store.footprint_bytes()
+
+    def drain(self) -> None:
+        """Flush caches so all deferred traffic reaches the DRAM counters.
+
+        Call at the end of a measured run before reading :attr:`dram`.
+        """
+        self.cache.flush()
+        self.store.flush_rc_cache()

@@ -1,0 +1,84 @@
+"""Per-processor transient memory (section 3.3 and footnote 2).
+
+Two of the paper's mechanisms live outside the deduplicated region:
+
+* *transient lines* — the iterator register buffers stores in "a
+  pre-defined, per-processor area of the memory that operates outside of
+  the normal duplicate-suppressed region", converted to content-unique
+  lines only at commit;
+* *conventional-mode memory* — "a portion of the memory can operate in a
+  conventional, non-deduplicated mode for memory regions that are
+  expected to be modified frequently, such as thread stacks".
+
+:class:`TransientRegion` models one such per-processor area: a small,
+reused buffer whose accesses run through a conventional cache (so a
+register's working set of uncommitted lines is cheap, while overflowing
+the region spills real conventional DRAM traffic). Transient lines need
+no coherence — they are private until converted (footnote 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.memory.conventional import ConventionalMemory
+from repro.memory.stats import DramStats
+from repro.params import CacheGeometry, ConventionalConfig
+
+
+class TransientRegion:
+    """A reusable per-processor scratch area in conventional mode."""
+
+    def __init__(self, size_bytes: int = 64 * 1024,
+                 line_bytes: int = 64) -> None:
+        self.size_bytes = size_bytes
+        # a small private cache in front of the region: reused transient
+        # buffers mostly stay on chip
+        self._mem = ConventionalMemory(ConventionalConfig(
+            line_bytes=line_bytes,
+            l1=CacheGeometry(size_bytes=min(8 * 1024, size_bytes), ways=4,
+                             line_bytes=line_bytes),
+            l2=CacheGeometry(size_bytes=min(32 * 1024, size_bytes), ways=8,
+                             line_bytes=line_bytes),
+        ))
+        self._slots: Dict[object, int] = {}  # logical slot -> address
+        self._next = 0
+
+    # ------------------------------------------------------------------
+
+    def _address(self, slot) -> int:
+        addr = self._slots.get(slot)
+        if addr is None:
+            addr = (self._next * 8) % self.size_bytes  # region wraps (reuse)
+            self._slots[slot] = addr
+            self._next += 1
+        return addr
+
+    def write_word(self, slot) -> None:
+        """Charge one word store into the region."""
+        self._mem.store(self._address(slot), 8)
+
+    def read_word(self, slot) -> None:
+        """Charge one word load from the region."""
+        self._mem.load(self._address(slot), 8)
+
+    def reset(self) -> None:
+        """Recycle the region (commit/abort released the buffer)."""
+        self._slots.clear()
+        self._next = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dram(self) -> DramStats:
+        """Conventional DRAM traffic caused by the region (spills only;
+        a resident working set costs nothing off-chip)."""
+        return self._mem.dram
+
+    def drain(self) -> None:
+        """Flush the region's cache (end-of-run accounting)."""
+        self._mem.drain()
+
+    def live_words(self) -> int:
+        """Distinct transient words currently tracked."""
+        return len(self._slots)

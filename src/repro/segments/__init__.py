@@ -1,0 +1,51 @@
+"""Segments: canonical DAG representation of variable-size memory regions
+(section 2.2), the virtual segment map (section 2.3), iterator registers
+(section 3.3) and merge-update (section 3.4).
+"""
+
+from repro.segments.dag import (
+    build_entry,
+    build_segment,
+    count_unique_lines,
+    entry_capacity,
+    entry_key,
+    gather_words,
+    grow_entry,
+    height_for,
+    iter_nonzero,
+    read_word,
+    release_entry,
+    retain_entry,
+    write_word,
+    write_words_bulk,
+)
+from repro.segments.segment_map import MapEntry, SegmentFlags, SegmentMap
+from repro.segments.hicamp_map import HicampSegmentMap, MapTransaction
+from repro.segments.iterator import IteratorRegister
+from repro.segments.merge import merge_entries, merge_roots, three_way_merge_word
+
+__all__ = [
+    "build_entry",
+    "build_segment",
+    "count_unique_lines",
+    "entry_capacity",
+    "entry_key",
+    "gather_words",
+    "grow_entry",
+    "height_for",
+    "iter_nonzero",
+    "read_word",
+    "release_entry",
+    "retain_entry",
+    "write_word",
+    "write_words_bulk",
+    "MapEntry",
+    "SegmentFlags",
+    "SegmentMap",
+    "HicampSegmentMap",
+    "MapTransaction",
+    "IteratorRegister",
+    "merge_entries",
+    "merge_roots",
+    "three_way_merge_word",
+]

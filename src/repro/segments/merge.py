@@ -1,0 +1,161 @@
+"""Merge-update (section 3.4).
+
+When a CAS commit fails because another thread moved a segment's root,
+a merge-update folds the loser's changes into the winner's version
+instead of re-running the whole operation:
+
+* for each line offset, compute the difference between the *original*
+  (base) line and the *modified* (mine) line and apply it to the
+  *current* (theirs) line — plain data words merge arithmetically, which
+  makes concurrent counter increments sum;
+* a PLID field must equal either the original or one side's value —
+  two updates storing distinct PLIDs into the same field are a true
+  conflict and the merge fails (:class:`MergeConflictError`);
+* content-uniqueness lets the merge skip identical sub-DAGs with a single
+  root compare, so the expected work is a short path from the root down
+  to the (usually single) diverging subtree — the geometric-series
+  latency argument of section 5.1.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import MergeConflictError
+from repro.memory.line import Inline, PlidRef
+from repro.memory.system import MemorySystem
+from repro.params import WORD_MASK
+from repro.segments import dag
+from repro.segments.dag import Entry, entry_key
+
+
+@dataclass
+class MergeStats:
+    """Work accounting for one merge (feeds the §5.1.1 latency model)."""
+
+    levels_descended: int = 0
+    subtrees_skipped: int = 0
+    leaf_merges: int = 0
+
+
+def three_way_merge_word(base, mine, theirs):
+    """Merge one word under the section 3.4 rules.
+
+    Data words merge by difference (``theirs + (mine - base)``) — always,
+    even when both sides happen to hold the same value: two concurrent
+    "+1"s must sum to "+2", so the diff rule takes precedence over value
+    coincidence. Tagged reference words must match the base or one side
+    (identical stores coalesce; distinct stores are a true conflict).
+    """
+    if mine == base:
+        return theirs
+    if theirs == base:
+        return mine
+    if (isinstance(base, int) and isinstance(mine, int)
+            and isinstance(theirs, int)):
+        return (theirs + mine - base) & WORD_MASK
+    if mine == theirs:
+        return mine  # identical reference stores coalesce
+    raise MergeConflictError(
+        "distinct references stored into the same field: %r / %r (base %r)"
+        % (mine, theirs, base)
+    )
+
+
+def _leaf_view(mem: MemorySystem, entry: Entry) -> List:
+    """Borrowed view of a level-0 entry's words (no reference changes)."""
+    w = mem.words_per_line
+    if entry == 0:
+        return [0] * w
+    if isinstance(entry, Inline):
+        return list(entry.values) + [0] * (w - len(entry.values))
+    return list(mem.read(entry.plid))
+
+
+def _children_view(mem: MemorySystem, entry: Entry, level: int) -> List[Entry]:
+    """Borrowed view of an interior entry's child entries."""
+    fan = mem.fanout
+    if entry == 0:
+        return [0] * fan
+    if isinstance(entry, Inline):
+        child_span = dag.entry_capacity(mem, level - 1)
+        vals = list(entry.values)  # trailing zeros are implicit
+        out: List[Entry] = []
+        for j in range(fan):
+            lo = j * child_span
+            chunk = dag._trim(vals[lo:lo + child_span]) if lo < len(vals) else ()
+            sub = dag._inline_for(chunk) if chunk else None
+            out.append(sub if sub is not None else 0)
+        return out
+    if entry.path:
+        children: List[Entry] = [0] * fan
+        children[entry.path[0]] = PlidRef(entry.plid, entry.path[1:])
+        return children
+    return list(mem.read(entry.plid))
+
+
+def merge_entries(mem: MemorySystem, base: Entry, mine: Entry, theirs: Entry,
+                  level: int, stats: MergeStats = None) -> Entry:
+    """Three-way merge of same-height subtrees.
+
+    Inputs are borrowed; the merged entry is returned with one
+    caller-owned reference. Raises :class:`MergeConflictError` on a true
+    data conflict (the whole merge then aborts — mCAS returns failure).
+    """
+    if stats is None:
+        stats = MergeStats()
+    k_base, k_mine, k_theirs = entry_key(base), entry_key(mine), entry_key(theirs)
+    # Uniqueness of segments lets unchanged sub-DAGs be skipped by a
+    # single root compare (section 3.4). Note the sound skips are the
+    # one-side-unchanged cases; two sides that made the *same-looking*
+    # change must still merge word-by-word, or two identical counter
+    # increments would collapse into one.
+    if k_mine == k_base:
+        stats.subtrees_skipped += 1
+        return dag.retain_entry(mem, theirs)
+    if k_theirs == k_base:
+        stats.subtrees_skipped += 1
+        return dag.retain_entry(mem, mine)
+    if level == 0:
+        stats.leaf_merges += 1
+        b, m, t = (_leaf_view(mem, e) for e in (base, mine, theirs))
+        merged = [three_way_merge_word(b[i], m[i], t[i])
+                  for i in range(mem.words_per_line)]
+        return dag._leaf_entry(mem, merged)
+    stats.levels_descended += 1
+    bc = _children_view(mem, base, level)
+    mc = _children_view(mem, mine, level)
+    tc = _children_view(mem, theirs, level)
+    children: List[Entry] = []
+    try:
+        for j in range(mem.fanout):
+            children.append(merge_entries(mem, bc[j], mc[j], tc[j],
+                                          level - 1, stats))
+    except MergeConflictError:
+        for c in children:
+            dag.release_entry(mem, c)
+        raise
+    return dag._canonical_interior(mem, children, level)
+
+
+def merge_roots(mem: MemorySystem,
+                base: Tuple[Entry, int], mine: Tuple[Entry, int],
+                theirs: Tuple[Entry, int],
+                stats: MergeStats = None) -> Tuple[Entry, int]:
+    """Merge whole segments whose heights may differ (after growth).
+
+    Each argument is ``(root_entry, height)``, borrowed. Returns the
+    merged ``(root, height)`` with a caller-owned reference.
+    """
+    height = max(base[1], mine[1], theirs[1])
+    grown = []
+    for root, h in (base, mine, theirs):
+        dag.retain_entry(mem, root)
+        grown.append(dag.grow_entry(mem, root, h, height))
+    try:
+        merged = merge_entries(mem, grown[0], grown[1], grown[2], height, stats)
+    finally:
+        for g in grown:
+            dag.release_entry(mem, g)
+    return merged, height

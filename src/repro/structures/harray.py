@@ -1,0 +1,73 @@
+"""Growable word arrays on segments (section 4.1).
+
+Unlike a conventional array, an HArray extends without reallocation or
+copy (the DAG grows by root levels), a buffer overflow cannot overwrite a
+neighbouring object (each object is its own protected segment), and a
+sparse array is automatically compact (zero subtrees collapse; path and
+data compaction shorten what remains).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.machine import Machine
+from repro.segments.segment_map import SegmentFlags
+
+
+class HArray:
+    """A VSID-backed array of 64-bit words."""
+
+    def __init__(self, machine: Machine, vsid: int) -> None:
+        self.machine = machine
+        self.vsid = vsid
+
+    @classmethod
+    def create(cls, machine: Machine, values: Sequence = (),
+               flags: SegmentFlags = SegmentFlags.NONE) -> "HArray":
+        """Create an array holding ``values``."""
+        return cls(machine, machine.create_segment(list(values), flags=flags))
+
+    def __len__(self) -> int:
+        return self.machine.segment_length(self.vsid)
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self.machine.read_word(self.vsid, index)
+
+    def __setitem__(self, index: int, value) -> None:
+        if index < 0:
+            index += len(self)
+        if index < 0:
+            raise IndexError(index)
+        self.machine.write_word(self.vsid, index, value)
+
+    def append(self, value) -> None:
+        """Append one element — no reallocation, the DAG just extends."""
+        self.machine.append_words(self.vsid, [value])
+
+    def extend(self, values: Iterable) -> None:
+        """Append many elements in one rebuild pass."""
+        self.machine.append_words(self.vsid, list(values))
+
+    def to_list(self) -> List:
+        """The whole content as a Python list."""
+        return self.machine.read_segment(self.vsid)
+
+    def iter_nonzero(self) -> Iterator[Tuple[int, object]]:
+        """Iterate ``(index, value)`` skipping zero elements — the
+        iterator-register sparse scan of section 3.3."""
+        with self.machine.snapshot(self.vsid) as snap:
+            for item in snap.iter_nonzero():
+                yield item
+
+    def equals(self, other: "HArray") -> bool:
+        """Content equality by root compare."""
+        return self.machine.segments_equal(self.vsid, other.vsid)
+
+    def drop(self) -> None:
+        """Release the array's segment reference."""
+        self.machine.drop_segment(self.vsid)

@@ -1,0 +1,59 @@
+"""Counter arrays with merge-update sum semantics (sections 3.4, 4.3).
+
+A segment of plain data words whose updates go through mCAS: when two
+threads concurrently add to counters — even the *same* counter — the
+merge applies each thread's difference to the current value, so the
+result is the sum and no application-level retry happens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.machine import Machine
+from repro.params import WORD_MASK
+from repro.segments.segment_map import SegmentFlags
+
+
+class HCounterArray:
+    """A fixed-length array of 64-bit wrapping counters."""
+
+    def __init__(self, machine: Machine, vsid: int) -> None:
+        self.machine = machine
+        self.vsid = vsid
+
+    @classmethod
+    def create(cls, machine: Machine, size: int,
+               initial: Sequence[int] = ()) -> "HCounterArray":
+        """Create ``size`` counters (optionally pre-initialized)."""
+        words = list(initial) + [0] * (size - len(initial))
+        vsid = machine.create_segment(words, flags=SegmentFlags.MERGE_UPDATE)
+        return cls(machine, vsid)
+
+    def __len__(self) -> int:
+        return self.machine.segment_length(self.vsid)
+
+    def get(self, index: int) -> int:
+        """Current value of counter ``index``."""
+        return self.machine.read_word(self.vsid, index)
+
+    def add(self, index: int, delta: int = 1) -> None:
+        """Atomically add ``delta``; concurrent adds merge into the sum."""
+        self.add_many({index: delta})
+
+    def add_many(self, deltas: Dict[int, int]) -> None:
+        """Atomically apply several counter deltas in one commit."""
+
+        def update(it):
+            for index, delta in deltas.items():
+                it.put((it.get(index) + delta) & WORD_MASK, offset=index)
+
+        self.machine.atomic_update(self.vsid, update, merge=True)
+
+    def snapshot_values(self) -> List[int]:
+        """A consistent point-in-time copy of all counters."""
+        return self.machine.read_segment(self.vsid)
+
+    def drop(self) -> None:
+        """Release the counter segment."""
+        self.machine.drop_segment(self.vsid)

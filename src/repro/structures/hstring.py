@@ -1,0 +1,72 @@
+"""Byte strings as HICAMP segments (Figure 1, section 2.2).
+
+A string is stored as its raw characters packed into data words — no
+header, so a string whose content appears at an aligned position inside
+a longer string shares the longer string's lines outright, and two equal
+strings are one DAG. Equality is a root compare: the paper's
+"two web pages ... compared in a single compare instruction".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.machine import Machine
+from repro.memory.line import pack_words, unpack_words
+from repro.segments.segment_map import SegmentFlags
+
+
+class HString:
+    """A VSID-backed immutable byte string."""
+
+    def __init__(self, machine: Machine, vsid: int, byte_length: int) -> None:
+        self.machine = machine
+        self.vsid = vsid
+        self.byte_length = byte_length
+
+    @classmethod
+    def create(cls, machine: Machine, data: bytes,
+               flags: SegmentFlags = SegmentFlags.NONE) -> "HString":
+        """Create (or rediscover, via dedup) the segment for ``data``."""
+        vsid = machine.create_segment(pack_words(data), flags=flags)
+        return cls(machine, vsid, len(data))
+
+    def to_bytes(self) -> bytes:
+        """The string's content."""
+        words = self.machine.read_segment(self.vsid)
+        return unpack_words(words, self.byte_length)
+
+    def __len__(self) -> int:
+        return self.byte_length
+
+    def __getitem__(self, index: int) -> int:
+        """Byte at ``index`` (reads only the covering word's path)."""
+        if not 0 <= index < self.byte_length:
+            raise IndexError(index)
+        word = self.machine.read_word(self.vsid, index // 8)
+        shift = (7 - index % 8) * 8
+        return (word >> shift) & 0xFF
+
+    def equals(self, other: "HString") -> bool:
+        """Content equality by root compare — O(1) in string length."""
+        return (self.byte_length == other.byte_length
+                and self.machine.segments_equal(self.vsid, other.vsid))
+
+    def concat(self, other: "HString") -> "HString":
+        """A new string ``self + other``.
+
+        Word-aligned when ``len(self)`` is a multiple of 8, in which case
+        the left part's lines are shared with the result.
+        """
+        data = self.to_bytes() + other.to_bytes()
+        return HString.create(self.machine, data)
+
+    def substring(self, start: int, end: Optional[int] = None) -> "HString":
+        """A new string of ``self[start:end]`` (shares lines when the
+        slice is line-aligned, as in Figure 1)."""
+        data = self.to_bytes()[start:end]
+        return HString.create(self.machine, data)
+
+    def drop(self) -> None:
+        """Release the string's segment reference."""
+        self.machine.drop_segment(self.vsid)

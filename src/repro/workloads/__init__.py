@@ -1,0 +1,28 @@
+"""Synthetic workload generators.
+
+The paper evaluates on datasets we cannot ship (Facebook/Wikipedia page
+dumps, the University of Florida sparse matrix collection, VMmark VM
+memory snapshots). Each generator here synthesizes inputs that exercise
+the same axes those datasets exercise — byte-level sharing across items,
+non-zero structure and symmetry of matrices, page- vs line-level
+duplication across VM images — with seeded determinism so results are
+reproducible. DESIGN.md documents each substitution.
+"""
+
+from repro.workloads.text import TextCorpus, corpus_for_dataset
+from repro.workloads.traces import MemcachedWorkload, generate_workload, zipf_sample
+from repro.workloads.matrices import MatrixSpec, matrix_suite
+from repro.workloads.vm_images import VmImage, scale_vms, vmmark_tile
+
+__all__ = [
+    "TextCorpus",
+    "corpus_for_dataset",
+    "MemcachedWorkload",
+    "generate_workload",
+    "zipf_sample",
+    "MatrixSpec",
+    "matrix_suite",
+    "VmImage",
+    "scale_vms",
+    "vmmark_tile",
+]

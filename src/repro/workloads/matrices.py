@@ -1,0 +1,189 @@
+"""Synthetic sparse-matrix suite (stand-in for the University of Florida
+collection used in section 5.2).
+
+The paper's Table 2 / Figures 7-8 results depend on three structural
+axes: symmetry, non-zero pattern regularity (banded FEM stencils,
+LP constraint blocks), and value self-similarity (repeating coefficient
+patterns). Each generator below controls those axes explicitly; the
+suite spans the paper's categories — FEM discretizations, linear
+programs, symmetric graph/circuit matrices, patterned (block-repetitive)
+operators, and unstructured randoms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+Entry = Tuple[int, int, float]
+
+
+@dataclass
+class MatrixSpec:
+    """One generated matrix: its entries plus classification metadata."""
+
+    name: str
+    category: str  # "fem" | "lp" | "graph" | "patterned" | "random"
+    n: int
+    m: int
+    entries: List[Entry]
+    symmetric: bool
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return len(self.entries)
+
+    def csr_bytes(self) -> int:
+        """Conventional CSR footprint: 8*(1.5*nnz + 0.5*m) bytes, or the
+        symmetric-CSR variant when the matrix is symmetric (section
+        5.2.2's formulas)."""
+        if not self.symmetric:
+            return 8 * int(1.5 * self.nnz + 0.5 * self.n)
+        on_diag = sum(1 for r, c, _ in self.entries if r == c)
+        off_diag = self.nnz - on_diag
+        effective = on_diag + 0.5 * off_diag
+        return 8 * int(1.5 * effective + 0.5 * self.n)
+
+
+def fem_2d(n_grid: int, name: str, seed: int = 0,
+           coefficient_pool: int = 4, jitter: float = 0.18) -> MatrixSpec:
+    """5-point Laplacian stencil on an ``n_grid`` x ``n_grid`` mesh.
+
+    Symmetric and banded; a small coefficient pool (materials) gives the
+    value self-similarity typical of FEM assembly, while ``jitter``
+    perturbs a fraction of elements uniquely (mesh irregularity) so the
+    matrix does not collapse to a handful of repeated blocks.
+    """
+    rng = random.Random((seed, name).__repr__())
+    coeffs = [round(rng.uniform(0.5, 4.0), 3) for _ in range(coefficient_pool)]
+    n = n_grid * n_grid
+    entries: Dict[Tuple[int, int], float] = {}
+    for i in range(n_grid):
+        for j in range(n_grid):
+            row = i * n_grid + j
+            c = coeffs[(i // 4 + j // 4) % len(coeffs)]
+            if rng.random() < jitter:
+                c = round(c * rng.uniform(0.9, 1.1), 6)  # local irregularity
+            entries[(row, row)] = 4.0 * c
+            for di, dj in ((0, 1), (1, 0)):
+                ni, nj = i + di, j + dj
+                if ni < n_grid and nj < n_grid:
+                    col = ni * n_grid + nj
+                    entries[(row, col)] = -c
+                    entries[(col, row)] = -c
+    return MatrixSpec(name, "fem", n, n,
+                      [(r, c, v) for (r, c), v in sorted(entries.items())],
+                      symmetric=True)
+
+
+def lp_block(n_vars: int, n_cons: int, name: str, seed: int = 0,
+             block: int = 8, repeat_values: bool = False) -> MatrixSpec:
+    """LP constraint matrix: repeated structural blocks, non-symmetric.
+
+    Each constraint touches a contiguous variable block plus a few
+    coupling columns — the staircase structure of multiperiod LPs. With
+    ``repeat_values`` the blocks reuse one coefficient stencil (pattern
+    *and* value similarity); otherwise values are unique (pattern-only
+    similarity, the NZD case).
+    """
+    rng = random.Random((seed, name).__repr__())
+    stencil = [round(rng.uniform(-3, 3), 2) or 1.0 for _ in range(block)]
+    entries: List[Entry] = []
+    for row in range(n_cons):
+        base = (row * block // 2) % max(1, n_vars - block)
+        for k in range(block):
+            col = base + k
+            if col < n_vars:
+                value = stencil[k] if repeat_values else round(
+                    rng.uniform(-3, 3), 4) or 1.0
+                entries.append((row, col, value))
+        # sparse coupling column
+        entries.append((row, n_vars - 1, 1.0))
+    return MatrixSpec(name, "lp", n_cons, n_vars, entries, symmetric=False)
+
+
+def graph_symmetric(n: int, degree: int, name: str, seed: int = 0,
+                    unit_weights: bool = True) -> MatrixSpec:
+    """Symmetric adjacency-like matrix (circuit / network problems)."""
+    rng = random.Random((seed, name).__repr__())
+    entries: Dict[Tuple[int, int], float] = {}
+    for i in range(n):
+        entries[(i, i)] = float(degree)
+        for _ in range(degree // 2):
+            j = rng.randrange(n)
+            if j != i:
+                # edge weights come from a small pool (wire classes,
+                # conductance bins) rather than a continuum
+                w = 1.0 if unit_weights else rng.choice((0.5, 0.8, 1.0, 1.25, 1.6, 2.0))
+                entries[(i, j)] = -w
+                entries[(j, i)] = -w
+    return MatrixSpec(name, "graph", n, n,
+                      [(r, c, v) for (r, c), v in sorted(entries.items())],
+                      symmetric=True)
+
+
+def patterned_block(n: int, name: str, seed: int = 0, tile: int = 16) -> MatrixSpec:
+    """Block-circulant operator: one dense tile repeated along diagonals.
+
+    Maximal self-similarity — the quad-tree collapses the repeats; the
+    paper notes one matrix compacted by ~4000x, which is this regime.
+    """
+    rng = random.Random((seed, name).__repr__())
+    stencil = [[round(rng.uniform(-1, 1), 2) or 0.5 for _ in range(tile)]
+               for _ in range(tile)]
+    entries: List[Entry] = []
+    for b in range(n // tile):
+        base = b * tile
+        for i in range(tile):
+            for j in range(tile):
+                if stencil[i][j]:
+                    entries.append((base + i, base + j, stencil[i][j]))
+    return MatrixSpec(name, "patterned", n, n, entries, symmetric=False)
+
+
+def random_sparse(n: int, nnz: int, name: str, seed: int = 0,
+                  symmetric: bool = False) -> MatrixSpec:
+    """Unstructured random matrix — little for dedup to find."""
+    rng = random.Random((seed, name).__repr__())
+    entries: Dict[Tuple[int, int], float] = {}
+    while len(entries) < nnz:
+        i, j = rng.randrange(n), rng.randrange(n)
+        v = round(rng.uniform(-10, 10), 4) or 1.0
+        entries[(i, j)] = v
+        if symmetric:
+            entries[(j, i)] = v
+    return MatrixSpec(name, "random", n, n,
+                      [(r, c, v) for (r, c), v in sorted(entries.items())],
+                      symmetric=symmetric)
+
+
+def matrix_suite(scale: int = 1, seed: int = 0) -> List[MatrixSpec]:
+    """The evaluation suite, spanning the paper's categories.
+
+    ``scale`` multiplies matrix dimensions (1 keeps the suite laptop-fast;
+    the paper used matrices larger than the 4 MB L2, which scale >= 4
+    approaches for the traffic study).
+    """
+    s = scale
+    suite = [
+        fem_2d(16 * s, "fem2d-small", seed),
+        fem_2d(24 * s, "fem2d-mid", seed + 1),
+        fem_2d(32 * s, "fem2d-large", seed + 2),
+        fem_2d(24 * s, "fem2d-uniform", seed + 3, coefficient_pool=1),
+        lp_block(256 * s, 192 * s, "lp-stair", seed),
+        lp_block(384 * s, 256 * s, "lp-stair-wide", seed + 1),
+        lp_block(256 * s, 192 * s, "lp-repeat", seed + 2, repeat_values=True),
+        graph_symmetric(512 * s, 8, "graph-unit", seed),
+        graph_symmetric(512 * s, 6, "graph-weighted", seed + 1,
+                        unit_weights=False),
+        graph_symmetric(768 * s, 8, "graph-large", seed + 2),
+        patterned_block(512 * s, "pattern-circulant", seed),
+        patterned_block(256 * s, "pattern-small", seed + 1, tile=8),
+        random_sparse(256 * s, 8192 * s, "random-asym", seed),
+        random_sparse(256 * s, 12288 * s, "random-sym", seed + 1,
+                      symmetric=True),
+        random_sparse(384 * s, 4608 * s, "random-sparse", seed + 2),
+    ]
+    return suite

@@ -1,0 +1,155 @@
+"""Synthetic web-content corpora (stand-in for the paper's memcached
+datasets, Table 1).
+
+The paper's items were Wikipedia/Facebook page dumps: HTML pages and
+scripts share large boilerplate runs (templates, navigation, style and
+script blocks) across items, while compressed images are high-entropy
+with occasional whole-item duplicates (the same logo/thumbnail cached
+twice). The generators reproduce those axes:
+
+* a **fragment pool** of shared byte runs; each text item interleaves
+  pool fragments with item-unique filler. Fragments are padded to
+  16-byte boundaries, so finer memory lines capture more of the sharing
+  than coarser ones — the Table 1 trend of compaction falling as line
+  size grows;
+* **image items** are seeded high-entropy blobs with a configurable
+  whole-item duplication rate and no intra-item sharing.
+
+Dataset presets approximate the paper's classes: ``wikipedia`` (moderate
+sharing), ``facebook`` (heavy boilerplate), ``scripts`` (heavy sharing,
+small items), ``images`` (entropy + duplicates).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+_ALIGN = 16
+
+_WORDS = (
+    "the of and a to in is you that it he was for on are as with his they "
+    "I at be this have from or one had by word but not what all were we "
+    "when your can said there use an each which she do how their if will "
+    "up other about out many then them these so some her would make like "
+    "him into time has look two more write go see number no way could "
+    "people my than first water been call who oil its now find long down "
+    "day did get come made may part"
+).split()
+
+
+def _pad(data: bytes, align: int = _ALIGN) -> bytes:
+    """Pad with spaces to an alignment boundary (boilerplate whitespace)."""
+    if len(data) % align:
+        data += b" " * (align - len(data) % align)
+    return data
+
+
+def _html_fragment(rng: random.Random, size: int) -> bytes:
+    """One shared boilerplate fragment: markup plus word salad."""
+    tags = ("div", "span", "td", "li", "p", "script", "nav", "a")
+    parts: List[str] = []
+    while sum(len(p) for p in parts) < size:
+        tag = rng.choice(tags)
+        words = " ".join(rng.choice(_WORDS) for _ in range(rng.randint(3, 12)))
+        parts.append("<%s class=\"c%d\">%s</%s>" % (tag, rng.randint(0, 40),
+                                                    words, tag))
+    return _pad("".join(parts).encode()[:size])
+
+
+def _unique_filler(rng: random.Random, size: int) -> bytes:
+    """Item-unique content (never repeats across items)."""
+    alphabet = string.ascii_letters + string.digits + " .,"
+    return _pad("".join(rng.choice(alphabet) for _ in range(size)).encode())
+
+
+@dataclass
+class CorpusSpec:
+    """Parameters of one synthetic dataset class."""
+
+    name: str
+    n_items: int
+    mean_size: int
+    shared_fraction: float  # fraction of each item drawn from the pool
+    pool_fragments: int
+    fragment_size: int
+    duplicate_rate: float = 0.0  # whole-item duplicates
+    binary: bool = False  # high-entropy (image-like) items
+
+
+#: Presets approximating the paper's Table 1 dataset classes. Item counts
+#: and sizes are scaled down for simulator speed; EXPERIMENTS.md records
+#: the scaling.
+DATASETS: Dict[str, CorpusSpec] = {
+    "wikipedia": CorpusSpec("wikipedia", n_items=120, mean_size=6000,
+                            shared_fraction=0.33, pool_fragments=48,
+                            fragment_size=512, duplicate_rate=0.02),
+    "facebook": CorpusSpec("facebook", n_items=120, mean_size=4000,
+                           shared_fraction=0.74, pool_fragments=24,
+                           fragment_size=512, duplicate_rate=0.05),
+    "scripts": CorpusSpec("scripts", n_items=60, mean_size=1500,
+                          shared_fraction=0.76, pool_fragments=16,
+                          fragment_size=256, duplicate_rate=0.08),
+    "images": CorpusSpec("images", n_items=80, mean_size=3000,
+                         shared_fraction=0.0, pool_fragments=0,
+                         fragment_size=0, duplicate_rate=0.22, binary=True),
+}
+
+
+@dataclass
+class TextCorpus:
+    """A generated corpus: named items plus provenance metadata."""
+
+    spec: CorpusSpec
+    items: Dict[bytes, bytes] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes across items (the conventional footprint)."""
+        return sum(len(v) for v in self.items.values())
+
+
+def corpus_for_dataset(name: str, seed: int = 0,
+                       n_items: int = None) -> TextCorpus:
+    """Generate a corpus for one of the Table 1 dataset classes."""
+    spec = DATASETS[name]
+    if n_items is not None:
+        spec = CorpusSpec(**{**spec.__dict__, "n_items": n_items})
+    rng = random.Random((seed, name).__repr__())
+    corpus = TextCorpus(spec)
+
+    if spec.binary:
+        distinct: List[bytes] = []
+        for i in range(spec.n_items):
+            size = max(256, int(rng.expovariate(1.0 / spec.mean_size)))
+            if distinct and rng.random() < spec.duplicate_rate:
+                blob = rng.choice(distinct)  # whole-item duplicate
+            else:
+                blob = rng.getrandbits(8 * size).to_bytes(size, "big")
+                distinct.append(blob)
+            corpus.items[b"img-%05d" % i] = blob
+        return corpus
+
+    pool = [_html_fragment(rng, spec.fragment_size)
+            for _ in range(spec.pool_fragments)]
+    originals: List[bytes] = []
+    for i in range(spec.n_items):
+        if originals and rng.random() < spec.duplicate_rate:
+            item = rng.choice(originals)
+        else:
+            size = max(512, int(rng.expovariate(1.0 / spec.mean_size)))
+            parts: List[bytes] = []
+            total = 0
+            while total < size:
+                if rng.random() < spec.shared_fraction:
+                    frag = rng.choice(pool)
+                else:
+                    frag = _unique_filler(rng, rng.randint(48, 160))
+                parts.append(frag)
+                total += len(frag)
+            item = b"".join(parts)[:size]
+            originals.append(item)
+        corpus.items[b"page-%05d" % i] = item
+    return corpus

@@ -1,0 +1,113 @@
+"""Memcached request traces (section 5.1.2).
+
+The paper's trace "was generated using a power-law distribution for item
+frequency and size which is typical for memcached workloads", over items
+built from Facebook page dumps, with a 10:1 get:set ratio used for the
+concurrency analysis (section 5.1.1). :class:`MemcachedWorkload`
+reproduces that: a preload phase installing N key-value pairs, then a
+request stream with Zipfian key popularity and a configurable command
+mix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.text import TextCorpus, corpus_for_dataset
+
+
+def zipf_sample(rng: random.Random, n: int, alpha: float = 1.0) -> int:
+    """Sample an index in ``[0, n)`` with Zipf(alpha) popularity.
+
+    Index 0 is the most popular. Uses the inverse-CDF over precomputed
+    weights for small ``n`` fallback-free determinism.
+    """
+    # cache the CDF per (n, alpha) to keep sampling cheap
+    key = (n, alpha)
+    cdf = _ZIPF_CACHE.get(key)
+    if cdf is None:
+        weights = [1.0 / ((i + 1) ** alpha) for i in range(n)]
+        total = sum(weights)
+        acc = 0.0
+        cdf = []
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        _ZIPF_CACHE[key] = cdf
+    x = rng.random()
+    lo, hi = 0, n - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cdf[mid] < x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+_ZIPF_CACHE: Dict[Tuple[int, float], List[float]] = {}
+
+
+@dataclass
+class Request:
+    """One memcached command."""
+
+    op: str  # "get" | "set" | "delete"
+    key: bytes
+    value: Optional[bytes] = None
+
+
+@dataclass
+class MemcachedWorkload:
+    """A preload corpus plus a request stream over it."""
+
+    preload: Dict[bytes, bytes]
+    requests: List[Request]
+    corpus: TextCorpus = None
+
+    @property
+    def get_fraction(self) -> float:
+        """Fraction of requests that are gets."""
+        gets = sum(1 for r in self.requests if r.op == "get")
+        return gets / len(self.requests) if self.requests else 0.0
+
+
+def generate_workload(dataset: str = "facebook", n_requests: int = 1500,
+                      get_ratio: float = 0.9, delete_ratio: float = 0.01,
+                      zipf_alpha: float = 1.0, seed: int = 0,
+                      n_items: int = None) -> MemcachedWorkload:
+    """Build a memcached workload over a synthetic corpus.
+
+    ``get_ratio`` of requests are gets (the paper's analysis assumes a
+    10:1 get:set mix); sets rewrite an existing key with a new variant of
+    its value or insert a fresh item; a small ``delete_ratio`` removes
+    keys. Key popularity is Zipfian.
+    """
+    corpus = corpus_for_dataset(dataset, seed=seed, n_items=n_items)
+    rng = random.Random((seed, dataset, n_requests).__repr__())
+    keys = list(corpus.items)
+    requests: List[Request] = []
+    fresh = 0
+    for _ in range(n_requests):
+        x = rng.random()
+        key = keys[zipf_sample(rng, len(keys), zipf_alpha)]
+        if x < get_ratio:
+            requests.append(Request("get", key))
+        elif x < get_ratio + delete_ratio:
+            requests.append(Request("delete", key))
+        else:
+            base = corpus.items[key]
+            if rng.random() < 0.3:
+                # insert a fresh key (new content, same shape)
+                fresh += 1
+                key = b"fresh-%05d" % fresh
+            # a set rewrites mostly-identical content (a page regenerated
+            # with a small dynamic part changed)
+            cut = rng.randrange(0, max(1, len(base) // 2))
+            value = (base[:cut] + b"[upd-%08x]" % rng.getrandbits(32)
+                     + base[cut + 10:]) if len(base) > cut + 10 else base
+            requests.append(Request("set", key, value))
+    return MemcachedWorkload(preload=dict(corpus.items), requests=requests,
+                             corpus=corpus)

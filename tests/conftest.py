@@ -1,0 +1,34 @@
+"""Shared fixtures: small machine configurations that keep tests fast."""
+
+import pytest
+
+from repro import Machine, MachineConfig, MemoryConfig
+from repro.params import CacheGeometry
+
+
+def small_config(line_bytes: int = 16, cache_kb: int = 64) -> MachineConfig:
+    """A small machine: fewer buckets, small cache — fast to simulate."""
+    return MachineConfig(
+        memory=MemoryConfig(line_bytes=line_bytes, num_buckets=1 << 12,
+                            data_ways=12, overflow_lines=1 << 16),
+        cache=CacheGeometry(size_bytes=cache_kb * 1024, ways=8,
+                            line_bytes=line_bytes),
+    )
+
+
+@pytest.fixture
+def machine():
+    """A small 16-byte-line machine."""
+    return Machine(small_config())
+
+
+@pytest.fixture(params=[16, 32, 64])
+def machine_all_lines(request):
+    """The same machine at each of the paper's line sizes."""
+    return Machine(small_config(line_bytes=request.param))
+
+
+@pytest.fixture
+def mem(machine):
+    """The memory system of the small machine."""
+    return machine.mem

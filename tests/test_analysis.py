@@ -1,0 +1,88 @@
+"""Unit tests for the analytical models and reporting helpers."""
+
+import pytest
+
+from repro.analysis.concurrent_model import ConcurrencyModel, simulate_conflicts
+from repro.analysis.reporting import format_table, ratio_series, summarize_ratios
+
+
+class TestConcurrencyModel:
+    def test_paper_headline_numbers(self):
+        model = ConcurrencyModel()  # N=1e6, LS=16, 50ns, 200K cmd/s, 10:1
+        assert model.map_update_time_us == pytest.approx(2.0, abs=0.02)
+        assert model.conflict_probability == pytest.approx(0.04, abs=0.001)
+        assert model.merge_latency_ns == 200.0
+        assert model.set_interval_us == pytest.approx(50.0)
+
+    def test_billion_kvps(self):
+        model = ConcurrencyModel(n_kvps=10**9)
+        assert model.conflict_probability == pytest.approx(0.06, abs=0.001)
+
+    def test_line_size_scales_levels(self):
+        base = ConcurrencyModel()
+        half = ConcurrencyModel(line_bytes=32)
+        assert half.dag_levels == pytest.approx(base.dag_levels / 2)
+
+    def test_monte_carlo_matches_closed_form(self):
+        model = ConcurrencyModel()
+        sim = simulate_conflicts(model, n_sets=200_000, seed=1)
+        assert sim == pytest.approx(model.conflict_probability, abs=0.005)
+
+    def test_monte_carlo_deterministic(self):
+        model = ConcurrencyModel()
+        assert (simulate_conflicts(model, n_sets=5000, seed=3)
+                == simulate_conflicts(model, n_sets=5000, seed=3))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [100, 0.125]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bbb" in lines[1]
+        assert "2.500" in text and "0.125" in text
+
+    def test_ratio_series_log_bars(self):
+        text = ratio_series([(10, 0.5), (20, 2.0), (30, 1.0)], title="F")
+        assert "-1.00" in text  # log2(0.5)
+        assert "1.00" in text   # log2(2)
+        # bars point opposite ways around the y=1 axis
+        assert "." in text and "#" in text
+
+    def test_ratio_series_handles_zero(self):
+        text = ratio_series([(1, 0.0)])
+        assert "?" in text
+
+    def test_summarize_ratios(self):
+        stats = summarize_ratios([0.5, 2.0])
+        assert stats["gmean"] == pytest.approx(1.0)
+        assert stats["min"] == 0.5 and stats["max"] == 2.0
+
+    def test_summarize_empty(self):
+        assert summarize_ratios([])["mean"] == 0.0
+
+
+class TestTimingModel:
+    def test_pricing(self):
+        from repro.analysis.timing import TimingModel
+        from repro.memory.stats import DramStats
+        model = TimingModel(dram_ns=50.0, cache_hit_ns=2.0)
+        delta = DramStats(reads=4, lookups=6)
+        assert model.dram_time_ns(delta) == 500.0
+        assert model.op_time_ns(delta, cache_hits=10) == 520.0
+
+    def test_map_update_latency_matches_formula(self):
+        from repro.analysis.timing import measure_map_update_latency
+        result = measure_map_update_latency(n_items=256, probes=16)
+        # the §5.1.1 closed form holds on the real machinery
+        assert 0.6 <= result.ratio <= 1.5
+        # the background traffic the paper parallelizes away is real
+        assert result.total_ns > result.critical_ns
+
+    def test_latency_grows_logarithmically(self):
+        from repro.analysis.timing import measure_map_update_latency
+        small = measure_map_update_latency(n_items=128, probes=8)
+        big = measure_map_update_latency(n_items=2048, probes=8)
+        assert big.critical_ns > small.critical_ns
+        assert big.critical_ns < small.critical_ns * 2.5  # log, not linear

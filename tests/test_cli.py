@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "figure10" in out
+
+    def test_unknown_name_rejected(self, capsys):
+        assert main(["experiments", "nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_one(self, capsys):
+        assert main(["experiments", "section511"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 5.1.1" in out
+        assert "0.04" in out
+
+    def test_out_directory(self, tmp_path, capsys):
+        assert main(["experiments", "section511",
+                     "--out", str(tmp_path)]) == 0
+        written = (tmp_path / "section511.txt").read_text()
+        assert "merge latency" in written
+
+
+class TestDemoCommand:
+    def test_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "root compare: True" in out
+        assert "snapshot" in out
+
+
+class TestMemcachedCommand:
+    def test_protocol_session(self, capsys, monkeypatch):
+        script = "set k 0 0 5\nhello\nget k\ndelete k\nget k\n"
+        monkeypatch.setattr(sys, "stdin", io.StringIO(script))
+        assert main(["memcached"]) == 0
+        out = capsys.readouterr().out
+        assert "STORED" in out
+        assert "VALUE k 0 5" in out
+        assert "hello" in out
+        assert "DELETED" in out
+
+    def test_quota_flag(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "stdin", io.StringIO("get x\n"))
+        assert main(["memcached", "--quota", "4096"]) == 0
+        assert "END" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestJsonMetrics:
+    def test_json_output(self, capsys):
+        assert main(["experiments", "section511", "--json"]) == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert "section511" in payload
+        assert "map_update_critical_ns" in payload["section511"]
+
+    def test_metrics_file_written(self, tmp_path, capsys):
+        assert main(["experiments", "section511", "--out",
+                     str(tmp_path)]) == 0
+        import json
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert metrics["section511"]["total_dag_levels"] > 0

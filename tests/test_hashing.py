@@ -1,0 +1,57 @@
+"""Unit tests for content hashing and signatures."""
+
+from repro.memory import hashing
+from repro.memory.line import encode_line
+
+
+class TestBucketHash:
+    def test_deterministic(self):
+        enc = encode_line((1, 2, 3, 4))
+        assert hashing.bucket_hash(enc, 1024) == hashing.bucket_hash(enc, 1024)
+
+    def test_in_range(self):
+        for i in range(200):
+            enc = encode_line((i, i * 7, 0, 1))
+            assert 0 <= hashing.bucket_hash(enc, 64) < 64
+
+    def test_spreads_content(self):
+        buckets = {
+            hashing.bucket_hash(encode_line((i, 0)), 1 << 16) for i in range(500)
+        }
+        # 500 distinct single-word lines should land in many buckets.
+        assert len(buckets) > 400
+
+
+class TestSignature:
+    def test_non_zero(self):
+        # Zero signatures mark empty ways, so content signatures fold to 1..255.
+        for i in range(2000):
+            assert hashing.signature(encode_line((i, i ^ 0xFF))) != 0
+
+    def test_deterministic(self):
+        enc = encode_line((42, 43))
+        assert hashing.signature(enc) == hashing.signature(enc)
+
+    def test_signatures_spread(self):
+        # The 8-bit signature should cover most of its 1..255 range so
+        # that same-bucket contents rarely share a signature (the false
+        # positive argument of section 3.1).
+        sigs = {hashing.signature(encode_line((i, 1))) for i in range(1000)}
+        assert len(sigs) > 200
+
+    def test_pairwise_collision_rate_low(self):
+        # With ~12 lines per bucket (the paper's geometry) the chance of
+        # a stray signature match should be small (< 5 % per the paper).
+        import itertools
+        sigs = [hashing.signature(encode_line((i, 1))) for i in range(120)]
+        pairs = list(itertools.combinations(sigs, 2))
+        collisions = sum(1 for a, b in pairs if a == b)
+        assert collisions / len(pairs) < 0.05
+
+
+class TestLineHashes:
+    def test_triple(self):
+        bucket, sig, enc = hashing.line_hashes((5, 6), 128)
+        assert enc == encode_line((5, 6))
+        assert bucket == hashing.bucket_hash(enc, 128)
+        assert sig == hashing.signature(enc)

@@ -1,0 +1,144 @@
+"""Unit tests for the segment-backed segment map (section 2.3)."""
+
+import pytest
+
+from repro.errors import BadVsidError
+from repro.segments import dag
+from repro.segments.hicamp_map import HicampSegmentMap
+
+
+@pytest.fixture
+def hmap(machine):
+    return HicampSegmentMap(machine.mem)
+
+
+def build(mem, words):
+    return dag.build_segment(mem, words)
+
+
+class TestBasics:
+    def test_create_and_read(self, machine, hmap):
+        root, h = build(machine.mem, [1, 2, 3])
+        vsid = hmap.create(root, h, 3)
+        assert hmap.read_segment(vsid) == [1, 2, 3]
+        view = hmap.entry(vsid)
+        assert view.height == h and view.length == 3
+
+    def test_unknown_vsid(self, hmap):
+        with pytest.raises(BadVsidError):
+            hmap.entry(12345)
+
+    def test_drop_unmaps_and_reclaims(self, machine, hmap):
+        root, h = build(machine.mem, list(range(100, 200)))
+        vsid = hmap.create(root, h, 100)
+        lines_before = machine.footprint_lines()
+        hmap.drop(vsid)
+        with pytest.raises(BadVsidError):
+            hmap.entry(vsid)
+        assert machine.footprint_lines() < lines_before
+
+    def test_map_owns_content(self, machine, hmap):
+        root, h = build(machine.mem, list(range(300, 340)))
+        vsid = hmap.create(root, h, 40)
+        # only the map's references keep the content alive now
+        assert hmap.read_segment(vsid) == list(range(300, 340))
+        machine.mem.store.check_refcounts()
+
+
+class TestAtomicMultiSegmentCommit:
+    def test_all_or_nothing_visibility(self, machine, hmap):
+        mem = machine.mem
+        ra, ha = build(mem, [1])
+        rb, hb = build(mem, [2])
+        a, b = hmap.create(ra, ha, 1), hmap.create(rb, hb, 1)
+        txn = hmap.begin()
+        na, nha = build(mem, [10])
+        nb, nhb = build(mem, [20])
+        txn.set_root(a, na, nha, 1)
+        txn.set_root(b, nb, nhb, 1)
+        # nothing visible before the commit of the revised map
+        assert hmap.read_segment(a) == [1]
+        assert hmap.read_segment(b) == [2]
+        assert txn.commit()
+        assert hmap.read_segment(a) == [10]
+        assert hmap.read_segment(b) == [20]
+
+    def test_disjoint_transactions_merge(self, machine, hmap):
+        mem = machine.mem
+        ra, ha = build(mem, [1])
+        rb, hb = build(mem, [2])
+        a, b = hmap.create(ra, ha, 1), hmap.create(rb, hb, 1)
+        # both transactions start from the same map version
+        t1, t2 = hmap.begin(), hmap.begin()
+        na, nha = build(mem, [10])
+        nb, nhb = build(mem, [20])
+        t1.set_root(a, na, nha, 1)
+        t2.set_root(b, nb, nhb, 1)
+        assert t1.commit()
+        assert t2.commit()  # merged, not aborted
+        assert hmap.read_segment(a) == [10]
+        assert hmap.read_segment(b) == [20]
+
+    def test_same_vsid_race_is_a_conflict(self, machine, hmap):
+        mem = machine.mem
+        ra, ha = build(mem, [1])
+        a = hmap.create(ra, ha, 1)
+        t1, t2 = hmap.begin(), hmap.begin()
+        n1, nh1 = build(mem, [10])
+        n2, nh2 = build(mem, [20])
+        t1.set_root(a, n1, nh1, 1)
+        t2.set_root(a, n2, nh2, 1)
+        assert t1.commit()
+        assert not t2.commit()  # true write-write conflict on one VSID
+        assert hmap.read_segment(a) == [10]
+
+    def test_abort_leaves_map_untouched(self, machine, hmap):
+        mem = machine.mem
+        ra, ha = build(mem, [1])
+        a = hmap.create(ra, ha, 1)
+        txn = hmap.begin()
+        nr, nh = build(mem, list(range(500, 600)))
+        txn.set_root(a, nr, nh, 100)
+        txn.abort()
+        assert hmap.read_segment(a) == [1]
+        mem.store.check_refcounts()
+
+    def test_clear_in_transaction(self, machine, hmap):
+        mem = machine.mem
+        ra, ha = build(mem, [1])
+        rb, hb = build(mem, [2])
+        a, b = hmap.create(ra, ha, 1), hmap.create(rb, hb, 1)
+        txn = hmap.begin()
+        txn.clear(a)
+        nb, nhb = build(mem, [22])
+        txn.set_root(b, nb, nhb, 1)
+        assert txn.commit()
+        with pytest.raises(BadVsidError):
+            hmap.entry(a)
+        assert hmap.read_segment(b) == [22]
+
+
+class TestEntryFlags:
+    def test_flags_roundtrip_through_slots(self, machine, hmap):
+        from repro.segments.segment_map import SegmentFlags
+        root, h = build(machine.mem, [1, 2])
+        vsid = hmap.allocate_vsid()
+        txn = hmap.begin()
+        txn.set_root(vsid, root, h, 2, SegmentFlags.MERGE_UPDATE)
+        assert txn.commit()
+        view = hmap.entry(vsid)
+        assert view.flags & SegmentFlags.MERGE_UPDATE
+        assert view.length == 2 and view.height == h
+
+    def test_map_itself_merges_disjoint_creates(self, machine, hmap):
+        # two begin()s from the same map version, touching different
+        # fresh VSIDs, both commit (the merge on the anchor)
+        ra, ha = build(machine.mem, [11])
+        rb, hb = build(machine.mem, [22])
+        va, vb = hmap.allocate_vsid(), hmap.allocate_vsid()
+        t1, t2 = hmap.begin(), hmap.begin()
+        t1.set_root(va, ra, ha, 1)
+        t2.set_root(vb, rb, hb, 1)
+        assert t1.commit() and t2.commit()
+        assert hmap.read_segment(va) == [11]
+        assert hmap.read_segment(vb) == [22]

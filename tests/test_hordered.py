@@ -1,0 +1,98 @@
+"""Unit tests for the timestamp-ordered collection (section 4.1)."""
+
+import pytest
+
+from repro.concurrency import Scheduler
+from repro.structures import HOrderedCollection
+
+
+@pytest.fixture
+def coll(machine):
+    return HOrderedCollection.create(machine)
+
+
+class TestBasics:
+    def test_insert_get(self, coll):
+        coll.insert(1_000_000, b"event-a")
+        assert coll.get(1_000_000) == b"event-a"
+        assert coll.get(1_000_001) is None
+
+    def test_replace(self, coll):
+        coll.insert(5, b"v1")
+        coll.insert(5, b"v2")
+        assert coll.get(5) == b"v2"
+
+    def test_delete(self, coll):
+        coll.insert(7, b"x")
+        assert coll.delete(7)
+        assert coll.get(7) is None
+        assert not coll.delete(7)
+
+    def test_empty_payload(self, coll):
+        coll.insert(3, b"")
+        assert coll.get(3) == b""
+        assert list(coll.scan()) == [(3, b"")]
+
+
+class TestOrderedScan:
+    def test_in_timestamp_order(self, coll):
+        stamps = [900, 17, 44_000_000_000, 3, 512]
+        for ts in stamps:
+            coll.insert(ts, b"t%d" % ts)
+        assert [ts for ts, _ in coll.scan()] == sorted(stamps)
+
+    def test_range_scan(self, coll):
+        for ts in (10, 20, 30, 40):
+            coll.insert(ts, b"p")
+        assert [ts for ts, _ in coll.scan(start=15, stop=40)] == [20, 30]
+
+    def test_first_at_or_after(self, coll):
+        coll.insert(100, b"a")
+        coll.insert(200, b"b")
+        assert coll.first_at_or_after(0) == (100, b"a")
+        assert coll.first_at_or_after(101) == (200, b"b")
+        assert coll.first_at_or_after(201) is None
+
+    def test_scan_is_snapshot_stable(self, machine, coll):
+        for ts in range(0, 100, 10):
+            coll.insert(ts, b"v")
+        seen = []
+
+        def scanner():
+            it = coll.scan()
+            for i, (ts, _) in enumerate(it):
+                seen.append(ts)
+                if i % 2 == 0:
+                    yield
+
+        def deleter():
+            yield
+            for ts in range(0, 100, 10):
+                coll.delete(ts)
+            yield
+
+        sched = Scheduler()
+        sched.spawn("scan", scanner())
+        sched.spawn("del", deleter())
+        sched.run()
+        assert seen == list(range(0, 100, 10))  # scan saw its snapshot
+
+
+class TestSparsity:
+    def test_huge_timestamps_cheap(self, machine, coll):
+        # one element at a 2^60-scale timestamp costs a handful of lines
+        coll.insert(1 << 60, b"far future")
+        assert machine.footprint_lines() < 12
+        assert coll.get(1 << 60) == b"far future"
+
+    def test_concurrent_inserts_merge(self, machine, coll):
+        def writer(base):
+            for i in range(5):
+                coll.insert(base + i * 1000, b"w")
+                yield
+
+        sched = Scheduler(seed=3)
+        sched.spawn("a", writer(1))
+        sched.spawn("b", writer(2))
+        sched.run()
+        assert len(list(coll.scan())) == 10

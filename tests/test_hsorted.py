@@ -1,0 +1,72 @@
+"""Tests for the string-ordered two-array map (section 4.1)."""
+
+import pytest
+
+from repro.structures import HSortedMap
+
+
+@pytest.fixture
+def smap(machine):
+    return HSortedMap.create(machine)
+
+
+class TestSortedMap:
+    def test_put_get(self, smap):
+        smap.put(b"banana", b"1")
+        smap.put(b"apple", b"2")
+        assert smap.get(b"apple") == b"2"
+        assert smap.get(b"missing") is None
+        assert len(smap) == 2
+
+    def test_ordered_iteration(self, smap):
+        for key in (b"pear", b"apple", b"mango", b"banana"):
+            smap.put(key, b"v-" + key)
+        assert [k for k, _ in smap.items_ordered()] == \
+            [b"apple", b"banana", b"mango", b"pear"]
+
+    def test_update_does_not_duplicate_index(self, smap):
+        smap.put(b"k", b"1")
+        smap.put(b"k", b"2")
+        assert [k for k, _ in smap.items_ordered()] == [b"k"]
+        assert smap.get(b"k") == b"2"
+
+    def test_delete_removes_from_order(self, smap):
+        for key in (b"a", b"b", b"c"):
+            smap.put(key, b"v")
+        assert smap.delete(b"b")
+        assert [k for k, _ in smap.items_ordered()] == [b"a", b"c"]
+        assert not smap.delete(b"b")
+
+    def test_range_scan(self, smap):
+        for key in (b"alpha", b"beta", b"delta", b"gamma", b"omega"):
+            smap.put(key, b"v")
+        got = [k for k, _ in smap.range(b"beta", b"omega")]
+        assert got == [b"beta", b"delta", b"gamma"]
+
+    def test_first(self, smap):
+        assert smap.first() is None
+        smap.put(b"zz", b"1")
+        smap.put(b"aa", b"2")
+        assert smap.first() == (b"aa", b"2")
+
+    def test_binary_key_order(self, smap):
+        keys = [bytes([b]) for b in (200, 3, 100, 0, 255)]
+        for key in keys:
+            smap.put(key, b"v")
+        assert [k for k, _ in smap.items_ordered()] == sorted(keys)
+
+    def test_index_references_dedup_against_map(self, machine, smap):
+        # the order index stores references, not key copies: adding it
+        # on top of the map costs little beyond the index lines
+        long_key = bytes(range(200))
+        smap.put(long_key, b"v")
+        lines = machine.footprint_lines()
+        # the key's content lines exist once, shared by map and index
+        from repro.analysis.inspect import sharing_matrix
+        assert lines > 0
+
+    def test_drop_reclaims(self, machine):
+        smap = HSortedMap.create(machine)
+        smap.put(b"k" * 50, bytes(range(100)))
+        smap.drop()
+        assert machine.footprint_lines() == 0

@@ -1,0 +1,103 @@
+"""Cross-geometry tests: every behaviour must hold at each of the
+paper's line sizes (16/32/64 B) and both PLID widths."""
+
+import pytest
+
+from repro import Machine, MachineConfig, MemoryConfig
+from repro.params import CacheGeometry
+from repro.structures import HMap, HQueue, HString
+
+
+def machine_geo(line_bytes: int, plid_bytes: int) -> Machine:
+    return Machine(MachineConfig(
+        memory=MemoryConfig(line_bytes=line_bytes, num_buckets=1 << 12,
+                            data_ways=12, overflow_lines=1 << 16,
+                            plid_bytes=plid_bytes),
+        cache=CacheGeometry(size_bytes=64 * 1024, ways=8,
+                            line_bytes=line_bytes),
+    ))
+
+
+@pytest.fixture(params=[(16, 4), (16, 8), (32, 4), (32, 8), (64, 4), (64, 8)],
+                ids=lambda p: "ls%d-plid%d" % p)
+def geo_machine(request):
+    return machine_geo(*request.param)
+
+
+class TestGeometries:
+    def test_fanout_derived(self, geo_machine):
+        mem = geo_machine.mem
+        assert mem.fanout == mem.line_bytes // mem.config.memory.plid_bytes
+        assert mem.words_per_line == mem.line_bytes // 8
+
+    def test_segment_roundtrip(self, geo_machine):
+        words = [i * 1234567 + 1 for i in range(300)]
+        vsid = geo_machine.create_segment(words)
+        assert geo_machine.read_segment(vsid) == words
+
+    def test_dedup_and_equality(self, geo_machine):
+        a = geo_machine.create_segment(list(range(500, 628)))
+        lines = geo_machine.footprint_lines()
+        b = geo_machine.create_segment(list(range(500, 628)))
+        assert geo_machine.footprint_lines() == lines
+        assert geo_machine.segments_equal(a, b)
+
+    def test_sparse_write_and_iterate(self, geo_machine):
+        vsid = geo_machine.create_segment([0] * 64)
+        geo_machine.write_words(vsid, {5: 50, 4000: 9})
+        with geo_machine.snapshot(vsid) as snap:
+            assert list(snap.iter_nonzero()) == [(5, 50), (4000, 9)]
+
+    def test_reclamation(self, geo_machine):
+        vsid = geo_machine.create_segment(list(range(1000)))
+        geo_machine.write_word(vsid, 3, 999)
+        geo_machine.drop_segment(vsid)
+        assert geo_machine.footprint_lines() == 0
+        geo_machine.mem.store.check_refcounts()
+
+    def test_hmap_works(self, geo_machine):
+        m = HMap.create(geo_machine)
+        m.put(b"alpha", b"1" * 40)
+        m.put(b"beta", b"2")
+        assert m.get(b"alpha") == b"1" * 40
+        assert m.get(b"beta") == b"2"
+        assert m.delete(b"alpha")
+        assert dict(m.items()) == {b"beta": b"2"}
+
+    def test_hqueue_works(self, geo_machine):
+        q = HQueue.create(geo_machine)
+        for i in range(5):
+            q.enqueue(b"item-%d" % i)
+        assert [q.dequeue() for _ in range(5)] == \
+            [b"item-%d" % i for i in range(5)]
+
+    def test_hstring_works(self, geo_machine):
+        s = HString.create(geo_machine, bytes(range(200)))
+        assert s.to_bytes() == bytes(range(200))
+
+    def test_atomic_update_with_merge(self, geo_machine):
+        vsid = geo_machine.create_segment([100])
+
+        def bump(it):
+            if not getattr(bump, "poked", False):
+                bump.poked = True
+                geo_machine.write_word(vsid, 0, 107)
+            it.put(it.get(0) + 3, offset=0)
+
+        geo_machine.atomic_update(vsid, bump, merge=True)
+        assert geo_machine.read_word(vsid, 0) == 110
+
+
+class TestDagOverheadByGeometry:
+    def test_dense_overhead_matches_fanout(self):
+        # dense interior overhead ~ 1/(fanout-1) leaf lines
+        n_words = 4096
+        words = [(i * 2654435761) % (1 << 62) | 1 for i in range(n_words)]
+        for line_bytes, plid_bytes in ((16, 8), (16, 4), (64, 4)):
+            machine = machine_geo(line_bytes, plid_bytes)
+            machine.create_segment(words)
+            leaves = n_words * 8 // line_bytes
+            fanout = line_bytes // plid_bytes
+            expected = leaves * fanout / (fanout - 1)
+            assert machine.footprint_lines() == pytest.approx(expected,
+                                                              rel=0.05)

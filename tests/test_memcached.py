@@ -1,0 +1,206 @@
+"""Unit and integration tests for the memcached implementations."""
+
+import pytest
+
+from repro.apps.memcached import ConventionalMemcached, HicampMemcached
+from repro.apps.memcached.compaction import measure_compaction
+from repro.apps.memcached.harness import figure6_row, run_conventional, run_hicamp
+from repro.concurrency import Scheduler
+from repro.core.machine import Machine
+from repro.workloads.text import corpus_for_dataset
+from repro.workloads.traces import generate_workload
+
+
+@pytest.fixture
+def server(machine):
+    return HicampMemcached(machine)
+
+
+class TestHicampServer:
+    def test_set_get(self, server):
+        server.set(b"k", b"v")
+        assert server.get(b"k") == b"v"
+        assert server.get(b"missing") is None
+
+    def test_delete(self, server):
+        server.set(b"k", b"v")
+        assert server.delete(b"k")
+        assert server.get(b"k") is None
+        assert not server.delete(b"k")
+
+    def test_add_only_when_absent(self, server):
+        assert server.add(b"k", b"1")
+        assert not server.add(b"k", b"2")
+        assert server.get(b"k") == b"1"
+
+    def test_replace_only_when_present(self, server):
+        assert not server.replace(b"k", b"1")
+        server.set(b"k", b"0")
+        assert server.replace(b"k", b"1")
+        assert server.get(b"k") == b"1"
+
+    def test_incr_decr(self, server):
+        server.set(b"n", b"10")
+        assert server.incr(b"n", 5) == 15
+        assert server.decr(b"n", 3) == 12
+        assert server.decr(b"n", 100) == 0  # floored like memcached
+        assert server.incr(b"missing") is None
+
+    def test_gets_cas(self, server):
+        server.set(b"k", b"v1")
+        value, token = server.gets(b"k")
+        assert value == b"v1"
+        assert server.cas(b"k", b"v2", token)
+        assert not server.cas(b"k", b"v3", token)  # token now stale
+        assert server.get(b"k") == b"v2"
+
+    def test_stats_track_operations(self, server):
+        server.set(b"a", b"1")
+        server.get(b"a")
+        server.get(b"b")
+        assert server.stats.gets == 2
+        assert server.stats.get_hits == 1
+        assert server.stats.sets == 1
+
+    def test_item_count(self, server):
+        for i in range(5):
+            server.set(b"k%d" % i, b"v")
+        server.delete(b"k0")
+        assert server.item_count() == 4
+
+    def test_equal_values_stored_once(self, machine, server):
+        blob = bytes(range(256)) * 4
+        server.set(b"a", blob)
+        lines = machine.footprint_lines()
+        server.set(b"b", blob)
+        # the second copy adds only map-slot lines, not value lines
+        assert machine.footprint_lines() - lines < 10
+
+    def test_reader_isolated_from_concurrent_set(self, machine, server):
+        server.set(b"page", b"version-1")
+        results = []
+
+        def reader():
+            snap = machine.snapshot(server.kvp.vsid)
+            yield
+            # read through the private snapshot after the writer moved on
+            results.append(server.kvp.get(b"page"))
+            snap.release()
+
+        def writer():
+            yield
+            server.set(b"page", b"version-2")
+            yield
+
+        sched = Scheduler()
+        sched.spawn("r", reader())
+        sched.spawn("w", writer())
+        sched.run()
+        # the live map shows the new version
+        assert server.get(b"page") == b"version-2"
+
+
+class TestConventionalModel:
+    def test_set_get_roundtrip_shape(self):
+        server = ConventionalMemcached()
+        server.set(b"k", b"value-bytes")
+        got = server.get(b"k")
+        assert got is not None and len(got) == len(b"value-bytes")
+        assert server.get(b"missing") is None
+
+    def test_delete(self):
+        server = ConventionalMemcached()
+        server.set(b"k", b"v")
+        assert server.delete(b"k")
+        assert server.get(b"k") is None
+        assert not server.delete(b"k")
+
+    def test_traffic_generated(self):
+        server = ConventionalMemcached()
+        server.set(b"k", b"x" * 4096)
+        server.mem.drain()
+        assert server.mem.dram.total() > 0
+
+    def test_get_copies_cost_more_than_value_size(self):
+        server = ConventionalMemcached()
+        value = b"x" * 8192
+        server.set(b"k", value)
+        server.mem.drain()
+        before = server.mem.dram.total()
+        server.get(b"k")
+        server.mem.drain()
+        delta = server.mem.dram.total() - before
+        # value read + socket write + client read/write paths
+        assert delta * server.mem.config.line_bytes > len(value)
+
+    def test_footprint_includes_overheads(self):
+        server = ConventionalMemcached()
+        base = server.footprint_bytes()
+        server.set(b"key", b"v" * 100)
+        assert server.footprint_bytes() - base >= 100 + 48
+
+
+class TestHarness:
+    def test_both_sides_serve_same_workload(self):
+        wl = generate_workload("scripts", n_requests=60, seed=4, n_items=12)
+        hic = run_hicamp(wl, 32)
+        conv = run_conventional(wl, 32)
+        # the same trace must produce the same hit behaviour
+        assert abs(hic.get_hit_rate - conv.get_hit_rate) < 1e-9
+        assert hic.dram.total() > 0 and conv.dram.total() > 0
+
+    def test_figure6_categories(self):
+        wl = generate_workload("scripts", n_requests=40, seed=4, n_items=10)
+        row = figure6_row(wl, 16)
+        conv, hic = row["conventional"].dram, row["hicamp"].dram
+        assert conv.lookups == conv.dealloc == conv.refcount == 0
+        assert hic.lookups > 0
+
+    def test_compaction_measures_all_items(self):
+        corpus = corpus_for_dataset("scripts", seed=0, n_items=8)
+        result = measure_compaction(corpus, 16)
+        assert result.n_items == 8
+        assert result.conventional_bytes == sum(
+            len(k) + len(v) for k, v in corpus.items.items())
+        assert result.hicamp_bytes > 0
+
+
+class TestDesignatedUpdaterDeployment:
+    def test_clients_queue_updates_for_updater_thread(self, machine):
+        """Section 4.4's alternative deployment: untrusted clients hold
+        read-only references and queue update requests; one designated
+        updater thread holds the read-write reference and applies them."""
+        from repro.structures import HQueue
+
+        server = HicampMemcached(machine)
+        server.set(b"seed", b"0")
+        requests = HQueue.create(machine)
+
+        def client(cid):
+            # clients never touch the map read-write reference
+            for i in range(3):
+                requests.enqueue(b"set c%d-%d=%d" % (cid, i, i))
+                yield
+                assert server.get(b"seed") == b"0"  # reads need no updater
+
+        def updater():
+            applied = 0
+            while applied < 6:
+                request = requests.dequeue()
+                if request is None:
+                    yield
+                    continue
+                body = request[len(b"set "):]
+                key, value = body.split(b"=")
+                server.set(key, value)
+                applied += 1
+                yield
+
+        sched = Scheduler(seed=6)
+        sched.spawn("c0", client(0))
+        sched.spawn("c1", client(1))
+        sched.spawn("updater", updater())
+        sched.run()
+        for cid in range(2):
+            for i in range(3):
+                assert server.get(b"c%d-%d" % (cid, i)) == b"%d" % i

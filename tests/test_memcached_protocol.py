@@ -1,0 +1,158 @@
+"""Tests for the memcached ASCII protocol layer."""
+
+import pytest
+
+from repro.apps.memcached import HicampMemcached
+from repro.apps.memcached.protocol import (
+    ProtocolError,
+    ProtocolHandler,
+    parse_request,
+)
+
+
+@pytest.fixture
+def handler(machine):
+    return ProtocolHandler(HicampMemcached(machine))
+
+
+class TestParsing:
+    def test_retrieval_line(self):
+        cmd, args, payload = parse_request(b"get alpha beta\r\n")
+        assert cmd == b"get" and args == [b"alpha", b"beta"]
+        assert payload is None
+
+    def test_storage_with_payload(self):
+        cmd, args, payload = parse_request(b"set k 0 0 5\r\nhello\r\n")
+        assert cmd == b"set" and payload == b"hello"
+
+    def test_binary_safe_payload(self):
+        blob = bytes(range(256))
+        cmd, args, payload = parse_request(
+            b"set blob 0 0 256\r\n" + blob + b"\r\n")
+        assert payload == blob
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"set k 0 0 10\r\nshort\r\n")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"get key")
+
+    def test_bad_byte_count_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"set k 0 0 xyz\r\n\r\n")
+
+
+class TestCommands:
+    def test_set_get_roundtrip(self, handler):
+        assert handler.handle(b"set greeting 0 0 5\r\nhello\r\n") == \
+            b"STORED\r\n"
+        assert handler.handle(b"get greeting\r\n") == \
+            b"VALUE greeting 0 5\r\nhello\r\nEND\r\n"
+
+    def test_get_miss(self, handler):
+        assert handler.handle(b"get nothing\r\n") == b"END\r\n"
+
+    def test_multi_get(self, handler):
+        handler.handle(b"set a 0 0 1\r\nx\r\n")
+        handler.handle(b"set b 0 0 1\r\ny\r\n")
+        response = handler.handle(b"get a missing b\r\n")
+        assert response == (b"VALUE a 0 1\r\nx\r\n"
+                            b"VALUE b 0 1\r\ny\r\nEND\r\n")
+
+    def test_add_replace(self, handler):
+        assert handler.handle(b"add k 0 0 1\r\n1\r\n") == b"STORED\r\n"
+        assert handler.handle(b"add k 0 0 1\r\n2\r\n") == b"NOT_STORED\r\n"
+        assert handler.handle(b"replace k 0 0 1\r\n3\r\n") == b"STORED\r\n"
+        assert handler.handle(b"replace nope 0 0 1\r\n4\r\n") == \
+            b"NOT_STORED\r\n"
+
+    def test_delete(self, handler):
+        handler.handle(b"set k 0 0 1\r\nv\r\n")
+        assert handler.handle(b"delete k\r\n") == b"DELETED\r\n"
+        assert handler.handle(b"delete k\r\n") == b"NOT_FOUND\r\n"
+
+    def test_incr_decr(self, handler):
+        handler.handle(b"set n 0 0 2\r\n10\r\n")
+        assert handler.handle(b"incr n 5\r\n") == b"15\r\n"
+        assert handler.handle(b"decr n 3\r\n") == b"12\r\n"
+        assert handler.handle(b"incr missing 1\r\n") == b"NOT_FOUND\r\n"
+
+    def test_gets_cas_flow(self, handler):
+        handler.handle(b"set k 0 0 2\r\nv1\r\n")
+        response = handler.handle(b"gets k\r\n")
+        token = response.split(b"\r\n")[0].split()[-1]
+        assert handler.handle(
+            b"cas k 0 0 2 %s\r\nv2\r\n" % token) == b"STORED\r\n"
+        # stale token now
+        assert handler.handle(
+            b"cas k 0 0 2 %s\r\nv3\r\n" % token) == b"EXISTS\r\n"
+        assert handler.handle(b"cas missing 0 0 1 5\r\nx\r\n") == \
+            b"NOT_FOUND\r\n"
+
+    def test_stats(self, handler):
+        handler.handle(b"set k 0 0 1\r\nv\r\n")
+        handler.handle(b"get k\r\n")
+        response = handler.handle(b"stats\r\n")
+        assert b"STAT gets 1" in response
+        assert b"STAT curr_items 1" in response
+
+    def test_unknown_command(self, handler):
+        assert handler.handle(b"flushish\r\n") == b"ERROR\r\n"
+
+    def test_malformed_returns_client_error(self, handler):
+        assert handler.handle(b"set k 0 0\r\n").startswith(b"CLIENT_ERROR")
+        assert handler.handle(b"incr n xyz\r\n").startswith(b"CLIENT_ERROR")
+
+
+class TestProtocolRobustness:
+    def test_random_bytes_never_crash(self, handler):
+        import random
+        rng = random.Random(0)
+        for _ in range(300):
+            size = rng.randint(0, 40)
+            blob = bytes(rng.randrange(256) for _ in range(size))
+            response = handler.handle(blob + b"\r\n")
+            assert response.endswith(b"\r\n")
+
+    def test_fuzzed_command_lines(self, handler):
+        import random
+        rng = random.Random(1)
+        verbs = [b"get", b"set", b"add", b"cas", b"delete", b"incr",
+                 b"decr", b"stats", b"quit", b"flush_all"]
+        for _ in range(200):
+            parts = [rng.choice(verbs)]
+            for _ in range(rng.randint(0, 5)):
+                parts.append(b"%d" % rng.randrange(10**6))
+            request = b" ".join(parts) + b"\r\n" + b"x" * rng.randint(0, 8)
+            response = handler.handle(request + b"\r\n")
+            assert isinstance(response, bytes) and response
+
+
+class TestProtocolWithTtlServer:
+    def test_exptime_honoured(self, machine):
+        from repro.apps.memcached.eviction import ManagedMemcached
+        server = ManagedMemcached(machine)
+        handler = ProtocolHandler(server)
+        assert handler.handle(b"set k 0 5 1\r\nv\r\n") == b"STORED\r\n"
+        assert b"VALUE k" in handler.handle(b"get k\r\n")
+        server.tick(10)  # past the 5-tick TTL
+        assert handler.handle(b"get k\r\n") == b"END\r\n"
+
+    def test_zero_exptime_means_forever(self, machine):
+        from repro.apps.memcached.eviction import ManagedMemcached
+        server = ManagedMemcached(machine)
+        handler = ProtocolHandler(server)
+        handler.handle(b"set k 0 0 1\r\nv\r\n")
+        server.tick(100000)
+        assert b"VALUE k" in handler.handle(b"get k\r\n")
+
+    def test_bad_exptime_rejected(self, handler):
+        assert handler.handle(b"set k 0 zz 1\r\nv\r\n").startswith(
+            b"CLIENT_ERROR")
+
+    def test_plain_server_ignores_ttl_gracefully(self, handler):
+        # HicampMemcached has no TTL support; the protocol still stores
+        assert handler.handle(b"set k 0 99 1\r\nv\r\n") == b"STORED\r\n"
+        assert b"VALUE k" in handler.handle(b"get k\r\n")

@@ -1,0 +1,121 @@
+"""Unit tests for merge-update and mCAS (section 3.4)."""
+
+import pytest
+
+from repro.errors import MergeConflictError
+from repro.memory.line import PlidRef
+from repro.segments import dag
+from repro.segments.merge import (
+    MergeStats,
+    merge_entries,
+    merge_roots,
+    three_way_merge_word,
+)
+
+
+class TestWordRule:
+    def test_untouched_side_takes_other(self):
+        assert three_way_merge_word(1, 1, 5) == 5
+        assert three_way_merge_word(1, 5, 1) == 5
+
+    def test_identical_data_updates_sum_their_diffs(self):
+        # both sides applied +4 to base 1: the diffs compose to +8
+        # (two concurrent "+1"s must not collapse into one)
+        assert three_way_merge_word(1, 5, 5) == 9
+
+    def test_identical_reference_updates_coalesce(self):
+        assert three_way_merge_word(0, PlidRef(3), PlidRef(3)) == PlidRef(3)
+
+    def test_counter_difference_sums(self):
+        # base 10, mine +3, theirs +4 -> 17
+        assert three_way_merge_word(10, 13, 14) == 17
+
+    def test_wraps_modulo_word(self):
+        top = (1 << 64) - 1
+        assert three_way_merge_word(top, 0, top) == 0  # +1 wraps
+
+    def test_reference_conflict_raises(self):
+        with pytest.raises(MergeConflictError):
+            three_way_merge_word(0, PlidRef(1), PlidRef(2))
+
+    def test_reference_matching_side_ok(self):
+        assert three_way_merge_word(0, PlidRef(1), 0) == PlidRef(1)
+        assert three_way_merge_word(PlidRef(1), 0, PlidRef(1)) == 0
+
+    def test_mixed_tag_conflict_raises(self):
+        with pytest.raises(MergeConflictError):
+            three_way_merge_word(0, PlidRef(1), 7)
+
+
+def merged_words(mem, base, mine, theirs):
+    b, bh = dag.build_segment(mem, base)
+    m, mh = dag.build_segment(mem, mine)
+    t, th = dag.build_segment(mem, theirs)
+    root, h = merge_roots(mem, (b, bh), (m, mh), (t, th))
+    out = dag.gather_words(mem, root, h, 0, max(len(base), len(mine), len(theirs)))
+    for e in (b, m, t, root):
+        dag.release_entry(mem, e)
+    return out
+
+
+class TestSegmentMerge:
+    def test_disjoint_updates_compose(self, mem):
+        base = [0] * 40
+        mine = list(base); mine[3] = 33
+        theirs = list(base); theirs[30] = 77
+        assert merged_words(mem, base, mine, theirs)[3] == 33
+        assert merged_words(mem, base, mine, theirs)[30] == 77
+
+    def test_counter_semantics_at_scale(self, mem):
+        base = [100] * 20
+        mine = [101] * 20    # +1 each
+        theirs = [105] * 20  # +5 each
+        assert merged_words(mem, base, mine, theirs) == [106] * 20
+
+    def test_identical_subtrees_skipped(self, mem):
+        stats = MergeStats()
+        base = list(range(1000, 1256))
+        mine = list(base); mine[0] = 1
+        theirs = list(base); theirs[255] = 2
+        b, bh = dag.build_segment(mem, base)
+        m, mh = dag.build_segment(mem, mine)
+        t, th = dag.build_segment(mem, theirs)
+        root, h = merge_roots(mem, (b, bh), (m, mh), (t, th), stats=stats)
+        assert stats.subtrees_skipped > 0
+        # only the two diverging paths were leaf-merged
+        assert stats.leaf_merges <= 4
+        for e in (b, m, t, root):
+            dag.release_entry(mem, e)
+
+    def test_different_heights_merge(self, mem):
+        base = [1, 2]
+        mine = [1, 2] + [0] * 30 + [9]  # grew the segment
+        theirs = [5, 2]
+        out = merged_words(mem, base, mine, theirs)
+        assert out[0] == 5 and out[32] == 9
+
+    def test_merge_conflict_propagates(self, mem):
+        w = mem.words_per_line
+        value_a, _ = dag.build_segment(mem, list(range(70, 90)))
+        value_b, _ = dag.build_segment(mem, list(range(90, 110)))
+        base = [0] * (w * 2)
+        b, bh = dag.build_segment(mem, base)
+        m = dag.write_words_bulk(mem, dag.retain_entry(mem, b), bh, {0: value_a})
+        t = dag.write_words_bulk(mem, dag.retain_entry(mem, b), bh, {0: value_b})
+        with pytest.raises(MergeConflictError):
+            root, _ = merge_roots(mem, (b, bh), (m, bh), (t, bh))
+        for e in (b, m, t, value_a, value_b):
+            dag.release_entry(mem, e)
+        mem.store.check_refcounts()
+
+    def test_merge_releases_cleanly(self, mem):
+        base = list(range(1, 65))
+        mine = list(base); mine[5] += 1
+        theirs = list(base); theirs[60] += 2
+        b, bh = dag.build_segment(mem, base)
+        m, mh = dag.build_segment(mem, mine)
+        t, th = dag.build_segment(mem, theirs)
+        root, h = merge_roots(mem, (b, bh), (m, mh), (t, th))
+        for e in (b, m, t, root):
+            dag.release_entry(mem, e)
+        assert mem.footprint_lines() == 0

@@ -1,0 +1,165 @@
+"""Second round of property-based tests: machine-level op sequences,
+persistence, SZ-order, and iterator/snapshot agreement."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro import Machine, MachineConfig, MemoryConfig
+from repro.core.persistence import machine_image, restore_machine
+from repro.params import CacheGeometry
+from repro.structures.hmatrix import sz_coords, sz_index
+
+SETTINGS = settings(
+    max_examples=30,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def fresh_machine(line_bytes=16):
+    return Machine(MachineConfig(
+        memory=MemoryConfig(line_bytes=line_bytes, num_buckets=1 << 12,
+                            data_ways=12, overflow_lines=1 << 16),
+        cache=CacheGeometry(size_bytes=64 * 1024, ways=8,
+                            line_bytes=line_bytes),
+    ))
+
+
+word_values = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class MachineModel(RuleBasedStateMachine):
+    """Random segment operations vs a dict-of-lists reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.machine = fresh_machine()
+        self.model = {}  # vsid -> list of words
+        self.handles = []
+
+    @rule(words=st.lists(word_values, max_size=30))
+    def create(self, words):
+        vsid = self.machine.create_segment(words)
+        self.model[vsid] = list(words)
+        self.handles.append(vsid)
+
+    @rule(offset=st.integers(min_value=0, max_value=60), value=word_values,
+          pick=st.integers(min_value=0, max_value=10**6))
+    def write(self, offset, value, pick):
+        if not self.handles:
+            return
+        vsid = self.handles[pick % len(self.handles)]
+        self.machine.write_word(vsid, offset, value)
+        words = self.model[vsid]
+        if offset >= len(words):
+            words.extend([0] * (offset + 1 - len(words)))
+        words[offset] = value
+
+    @rule(extra=st.lists(word_values, min_size=1, max_size=8),
+          pick=st.integers(min_value=0, max_value=10**6))
+    def append(self, extra, pick):
+        if not self.handles:
+            return
+        vsid = self.handles[pick % len(self.handles)]
+        self.machine.append_words(vsid, extra)
+        self.model[vsid].extend(extra)
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def drop(self, pick):
+        if not self.handles:
+            return
+        vsid = self.handles.pop(pick % len(self.handles))
+        self.machine.drop_segment(vsid)
+        del self.model[vsid]
+
+    @invariant()
+    def contents_match(self):
+        for vsid, words in self.model.items():
+            assert self.machine.read_segment(vsid) == words
+
+    @invariant()
+    def equal_contents_equal_roots(self):
+        by_content = {}
+        for vsid, words in self.model.items():
+            by_content.setdefault(tuple(words), []).append(vsid)
+        for group in by_content.values():
+            for other in group[1:]:
+                assert self.machine.segments_equal(group[0], other)
+
+    def teardown(self):
+        for vsid in self.handles:
+            self.machine.drop_segment(vsid)
+        assert self.machine.footprint_lines() == 0
+        self.machine.mem.store.check_refcounts()
+
+
+TestMachineModel = MachineModel.TestCase
+TestMachineModel.settings = SETTINGS
+
+
+class TestPersistenceProperties:
+    @SETTINGS
+    @given(contents=st.lists(st.lists(word_values, max_size=40),
+                             min_size=1, max_size=5))
+    def test_roundtrip_arbitrary_contents(self, contents):
+        machine = fresh_machine()
+        vsids = [machine.create_segment(words) for words in contents]
+        restored = restore_machine(machine_image(machine))
+        for vsid, words in zip(vsids, contents):
+            assert restored.read_segment(vsid) == list(words)
+        assert restored.footprint_lines() == machine.footprint_lines()
+
+
+class TestSzOrderProperties:
+    @SETTINGS
+    @given(size_log=st.integers(min_value=0, max_value=7),
+           data=st.data())
+    def test_bijection(self, size_log, data):
+        size = 1 << size_log
+        r = data.draw(st.integers(min_value=0, max_value=size - 1))
+        c = data.draw(st.integers(min_value=0, max_value=size - 1))
+        idx = sz_index(r, c, size)
+        assert 0 <= idx < size * size
+        assert sz_coords(idx, size) == (r, c)
+
+    @SETTINGS
+    @given(size_log=st.integers(min_value=1, max_value=6),
+           data=st.data())
+    def test_symmetric_pairs_align(self, size_log, data):
+        size = 1 << size_log
+        half = size // 2
+        r = data.draw(st.integers(min_value=0, max_value=half - 1))
+        c = data.draw(st.integers(min_value=half, max_value=size - 1))
+        quad = half * half
+        assert (sz_index(r, c, size) - 2 * quad
+                == sz_index(c, r, size) - 3 * quad)
+
+
+class TestIteratorAgreesWithSnapshot:
+    @SETTINGS
+    @given(words=st.lists(word_values, min_size=1, max_size=50),
+           offsets=st.lists(st.integers(min_value=0, max_value=49),
+                            min_size=1, max_size=12))
+    def test_reads_agree(self, words, offsets):
+        machine = fresh_machine()
+        vsid = machine.create_segment(words)
+        it = machine.iterator(vsid)
+        with machine.snapshot(vsid) as snap:
+            for offset in offsets:
+                expected = words[offset] if offset < len(words) else 0
+                assert it.get(offset) == expected
+                assert snap.read(offset) == expected
+        machine.release_iterator(it)
+
+    @SETTINGS
+    @given(words=st.lists(word_values, min_size=1, max_size=40))
+    def test_iter_items_matches_enumerate(self, words):
+        machine = fresh_machine()
+        vsid = machine.create_segment(words)
+        it = machine.iterator(vsid)
+        got = list(it.iter_items())
+        expected = [(i, w) for i, w in enumerate(words) if w]
+        assert got == expected
+        machine.release_iterator(it)

@@ -1,0 +1,78 @@
+"""Tests for the protected-reference process model."""
+
+import pytest
+
+from repro.core.process import Process, ProtectionError
+from repro.errors import ReadOnlyError
+
+
+@pytest.fixture
+def procs(machine):
+    return Process(machine, "server"), Process(machine, "client")
+
+
+class TestProtection:
+    def test_creator_can_access(self, procs):
+        server, _ = procs
+        vsid = server.create_segment([1, 2, 3])
+        assert server.read_segment(vsid) == [1, 2, 3]
+
+    def test_ungranted_access_faults(self, procs):
+        server, client = procs
+        vsid = server.create_segment([1, 2, 3])
+        with pytest.raises(ProtectionError):
+            client.read_word(vsid, 0)
+        with pytest.raises(ProtectionError):
+            client.write_word(vsid, 0, 9)
+        with pytest.raises(ProtectionError):
+            client.snapshot(vsid)
+
+    def test_guessed_vsid_faults(self, procs):
+        _, client = procs
+        with pytest.raises(ProtectionError):
+            client.read_word(424242, 0)
+
+    def test_grant_shares_without_copy(self, machine, procs):
+        server, client = procs
+        vsid = server.create_segment(list(range(200)))
+        lines = machine.footprint_lines()
+        server.grant(client, vsid)
+        assert machine.footprint_lines() == lines  # zero-copy sharing
+        assert client.read_word(vsid, 150) == 150
+        client.write_word(vsid, 0, 99)
+        assert server.read_word(vsid, 0) == 99  # genuinely shared state
+
+    def test_read_only_grant(self, procs):
+        server, client = procs
+        vsid = server.create_segment([1, 2])
+        ro = server.grant_read_only(client, vsid)
+        assert client.read_segment(ro) == [1, 2]
+        with pytest.raises(ReadOnlyError):
+            client.write_word(ro, 0, 5)
+        # and the client still has no right to the writable VSID
+        with pytest.raises(ProtectionError):
+            client.write_word(vsid, 0, 5)
+
+    def test_revoke(self, procs):
+        server, client = procs
+        vsid = server.create_segment([1])
+        server.grant(client, vsid)
+        client.revoke(vsid)
+        with pytest.raises(ProtectionError):
+            client.read_word(vsid, 0)
+        assert server.read_word(vsid, 0) == 1
+
+    def test_atomic_update_checked(self, procs):
+        server, client = procs
+        vsid = server.create_segment([10])
+        with pytest.raises(ProtectionError):
+            client.atomic_update(vsid, lambda it: None)
+        server.atomic_update(vsid, lambda it: it.put(it.get(0) + 1, offset=0))
+        assert server.read_word(vsid, 0) == 11
+
+    def test_grant_requires_possession(self, machine, procs):
+        server, client = procs
+        third = Process(machine, "third")
+        vsid = server.create_segment([1])
+        with pytest.raises(ProtectionError):
+            client.grant(third, vsid)  # cannot grant what you don't hold

@@ -1,0 +1,130 @@
+"""Tests for the sharded map (section 5.1.1 contention splitting)."""
+
+import pytest
+
+from repro.concurrency import Scheduler
+from repro.structures import HMap, ShardedHMap
+
+
+@pytest.fixture
+def smap(machine):
+    return ShardedHMap.create(machine, shard_bits=2)
+
+
+class TestShardedBasics:
+    def test_put_get_delete(self, smap):
+        for i in range(24):
+            smap.put(b"key-%02d" % i, b"v%d" % i)
+        assert len(smap) == 24
+        for i in range(24):
+            assert smap.get(b"key-%02d" % i) == b"v%d" % i
+        assert smap.delete(b"key-00")
+        assert smap.get(b"key-00") is None
+        assert len(smap) == 23
+
+    def test_keys_spread_across_shards(self, smap):
+        for i in range(40):
+            smap.put(b"key-%03d" % i, b"v")
+        occupied = [len(s) for s in smap.shards]
+        assert sum(occupied) == 40
+        assert sum(1 for n in occupied if n > 0) >= 3  # spread, not one shard
+
+    def test_items_cover_everything(self, smap):
+        data = {b"k%d" % i: b"v%d" % i for i in range(12)}
+        for k, v in data.items():
+            smap.put(k, v)
+        assert dict(smap.items()) == data
+
+    def test_contains(self, smap):
+        smap.put(b"here", b"1")
+        assert smap.contains(b"here")
+        assert not smap.contains(b"gone")
+
+    def test_shard_choice_stable_across_ops(self, smap):
+        # delete + reinsert must land in a consistent shard
+        smap.put(b"stable", b"1")
+        smap.delete(b"stable")
+        smap.put(b"stable", b"2")
+        assert smap.get(b"stable") == b"2"
+        assert len(smap) == 1
+
+    def test_drop_reclaims(self, machine):
+        smap = ShardedHMap.create(machine, shard_bits=1)
+        smap.put(b"k", bytes(range(100)))
+        smap.drop()
+        assert machine.footprint_lines() == 0
+
+    def test_shard_bits_bounds(self, machine):
+        with pytest.raises(ValueError):
+            ShardedHMap.create(machine, shard_bits=9)
+
+
+class TestContentionReduction:
+    def _run_storm(self, machine, kvp, n_workers=6, n_ops=6, seed=5):
+        before = machine.segmap.cas_failures
+
+        def worker(wid):
+            for i in range(n_ops):
+                kvp.put(b"w%d-i%d" % (wid, i), b"x")
+                yield
+
+        sched = Scheduler(seed=seed)
+        for w in range(n_workers):
+            sched.spawn("w%d" % w, worker(w))
+        sched.run()
+        return machine.segmap.cas_failures - before
+
+    def test_sharding_reduces_cas_failures(self, machine):
+        single = HMap.create(machine)
+        failures_single = self._run_storm(machine, single)
+        sharded = ShardedHMap.create(machine, shard_bits=3)
+        failures_sharded = self._run_storm(machine, sharded)
+        # disjoint shards -> fewer (or equal) lost CAS races
+        assert failures_sharded <= failures_single
+        # all data landed either way
+        assert len(sharded) == 36
+
+
+class TestConflictStorm:
+    def test_storm_counts_and_correctness(self, machine):
+        from repro.analysis.conflict_sim import run_conflict_storm
+        m = run_conflict_storm(shard_bits=0, n_clients=4, ops_per_client=6,
+                               get_ratio=0.5, seed=7)
+        assert m.n_ops == 24
+        assert m.cas_attempts > 0
+        assert 0.0 <= m.failure_rate <= 1.0
+
+    def test_put_steps_equivalent_to_put(self, machine):
+        from repro.structures import HMap
+        kvp = HMap.create(machine)
+        gen = kvp.put_steps(b"k", b"v")
+        for _ in gen:
+            pass
+        assert kvp.get(b"k") == b"v"
+
+    def test_put_steps_merges_disjoint_race(self, machine):
+        from repro.structures import HMap
+        kvp = HMap.create(machine)
+        gen = kvp.put_steps(b"a", b"1")
+        next(gen)                      # snapshot taken, window open
+        kvp.put(b"b", b"2")            # another client commits
+        for _ in gen:                  # our commit merges
+            pass
+        assert kvp.get(b"a") == b"1" and kvp.get(b"b") == b"2"
+        assert len(kvp) == 2
+
+    def test_put_steps_true_conflict_retries(self, machine):
+        from repro.structures import HMap
+        kvp = HMap.create(machine)
+        kvp.put(b"k", b"base")
+        gen = kvp.put_steps(b"k", b"mine")
+        next(gen)
+        kvp.put(b"k", b"theirs")       # same key, different value
+        retries = None
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            retries = stop.value
+        assert retries == 1            # one application-level retry
+        assert kvp.get(b"k") == b"mine"  # the retry won in the end

@@ -1,0 +1,120 @@
+"""Model-based property tests of the deduplicating store and structures.
+
+The store is checked against a reference multiset: after any sequence of
+lookups and releases, the set of allocated lines must equal the set of
+live contents, refcounts must match the model's counts, and the
+footprint must equal the number of unique live contents.
+"""
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.memory.dedup_store import DedupStore
+from repro.params import MemoryConfig
+
+SETTINGS = settings(
+    max_examples=30,
+    stateful_step_count=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+content_strategy = st.tuples(
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=7),
+)
+
+
+class StoreModel(RuleBasedStateMachine):
+    """Lookup/release sequences vs a reference refcount map."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = DedupStore(MemoryConfig(
+            line_bytes=16, num_buckets=64, data_ways=4,
+            overflow_lines=4096))
+        self.model = Counter()  # content -> live reference count
+        self.plids = {}         # content -> plid
+
+    @rule(content=content_strategy)
+    def lookup(self, content):
+        plid, created = self.store.lookup(content)
+        if content == (0, 0):
+            assert plid == 0 and not created
+            return
+        if self.model[content] == 0:
+            assert created
+        else:
+            assert not created
+            assert plid == self.plids[content]
+        self.model[content] += 1
+        self.plids[content] = plid
+
+    @rule(content=content_strategy)
+    def release(self, content):
+        if self.model[content] == 0:
+            return
+        self.store.decref(self.plids[content])
+        self.model[content] -= 1
+        if self.model[content] == 0:
+            del self.model[content]
+            del self.plids[content]
+
+    @invariant()
+    def footprint_matches_model(self):
+        live = {c for c, n in self.model.items() if n > 0}
+        assert self.store.footprint_lines() == len(live)
+
+    @invariant()
+    def refcounts_match_model(self):
+        for content, count in self.model.items():
+            assert self.store.refcount(self.plids[content]) == count
+
+    @invariant()
+    def contents_readable(self):
+        for content, plid in self.plids.items():
+            assert self.store.peek(plid) == content
+
+
+TestStoreModel = StoreModel.TestCase
+TestStoreModel.settings = SETTINGS
+
+
+class TestConcurrentStress:
+    """Randomized scheduler stress: merged counter updates never lose."""
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n_tasks=st.integers(min_value=2, max_value=6),
+           n_ops=st.integers(min_value=1, max_value=8))
+    def test_counter_sums_exact(self, seed, n_tasks, n_ops):
+        from repro import Machine, MachineConfig, MemoryConfig
+        from repro.concurrency import Scheduler
+        from repro.params import CacheGeometry
+        from repro.structures import HCounterArray
+
+        machine = Machine(MachineConfig(
+            memory=MemoryConfig(line_bytes=16, num_buckets=1 << 12,
+                                data_ways=12, overflow_lines=1 << 16),
+            cache=CacheGeometry(size_bytes=64 * 1024, ways=8, line_bytes=16),
+        ))
+        counters = HCounterArray.create(machine, 4)
+
+        def worker(wid):
+            for i in range(n_ops):
+                counters.add((wid + i) % 4, 1)
+                yield
+
+        sched = Scheduler(seed=seed)
+        for w in range(n_tasks):
+            sched.spawn("w%d" % w, worker(w))
+        sched.run()
+        assert sum(counters.snapshot_values()) == n_tasks * n_ops

@@ -1,0 +1,63 @@
+"""Unit tests for the VM-hosting dedup study."""
+
+from repro.apps.vmhost import (
+    ideal_page_sharing_bytes,
+    load_images_into_hicamp,
+    measure_images,
+)
+from repro.workloads.vm_images import PAGE, VmImage, scale_vms
+
+
+def image(role, vm_id, pages):
+    return VmImage(role=role, vm_id=vm_id, pages=pages)
+
+
+class TestIdealPageSharing:
+    def test_duplicates_counted_once(self):
+        page_a = b"\x01" * PAGE
+        page_b = b"\x02" * PAGE
+        vms = [image("web", 0, [page_a, page_b]),
+               image("web", 1, [page_a, page_a])]
+        assert ideal_page_sharing_bytes(vms) == 2 * PAGE
+
+    def test_zero_pages_free(self):
+        vms = [image("web", 0, [b"\x00" * PAGE, b"\x07" * PAGE])]
+        assert ideal_page_sharing_bytes(vms) == PAGE
+
+
+class TestHicampLoading:
+    def test_identical_images_share_everything(self):
+        page = bytes(range(256)) * (PAGE // 256)
+        vms = [image("web", i, [page, page]) for i in range(3)]
+        machine = load_images_into_hicamp(vms)
+        # 2 identical pages x 3 identical VMs: one page worth of lines
+        assert machine.footprint_bytes() < 2 * PAGE
+
+    def test_patched_page_shares_most_lines(self):
+        base = bytes(range(256)) * (PAGE // 256)
+        patched = bytearray(base)
+        patched[0:64] = b"\xff" * 64  # one dirty 64-byte line
+        vms = [image("web", 0, [base]), image("web", 1, [bytes(patched)])]
+        machine = load_images_into_hicamp(vms)
+        # page sharing keeps both full pages; HICAMP shares all but ~1 line
+        assert ideal_page_sharing_bytes(vms) == 2 * PAGE
+        assert machine.footprint_bytes() < PAGE + PAGE // 4
+
+    def test_measurement_fields(self):
+        vms = scale_vms("standby", 2, seed=0)
+        m = measure_images("standby", vms)
+        assert m.n_vms == 2
+        assert m.allocated_bytes == sum(vm.allocated_bytes for vm in vms)
+        assert 0 < m.hicamp_bytes <= m.allocated_bytes
+        assert m.hicamp_compaction >= 1.0
+
+    def test_hicamp_at_least_page_sharing_on_real_roles(self):
+        vms = scale_vms("database", 6, seed=1)
+        m = measure_images("database", vms)
+        # line dedup subsumes page dedup up to DAG overhead
+        assert m.hicamp_bytes < m.page_sharing_bytes * 1.25
+
+    def test_compaction_grows_with_vm_count(self):
+        one = measure_images("java", scale_vms("java", 1, seed=3))
+        ten = measure_images("java", scale_vms("java", 10, seed=3))
+        assert ten.hicamp_compaction > one.hicamp_compaction

@@ -1,0 +1,146 @@
+"""Tests for the in-memory database application."""
+
+import pytest
+
+from repro.apps.webdb import Database
+from repro.apps.webdb.db import decode_row, encode_row
+from repro.concurrency import Scheduler
+
+
+@pytest.fixture
+def db(machine):
+    d = Database(machine)
+    users = d.create_table("users", ["name", "city", "balance"])
+    users.insert(b"u1", {"name": b"ada", "city": b"london", "balance": b"100"})
+    users.insert(b"u2", {"name": b"bob", "city": b"paris", "balance": b"50"})
+    users.insert(b"u3", {"name": b"cyd", "city": b"london", "balance": b"75"})
+    return d
+
+
+class TestRowEncoding:
+    def test_roundtrip(self):
+        schema = ["a", "b", "c"]
+        row = {"a": b"x", "b": b"", "c": b"long" * 50}
+        assert decode_row(schema, encode_row(schema, row)) == row
+
+    def test_missing_fields_default_empty(self):
+        schema = ["a", "b"]
+        assert decode_row(schema, encode_row(schema, {"a": b"1"})) == \
+            {"a": b"1", "b": b""}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            encode_row(["a"], {"zzz": b"1"})
+
+
+class TestTable:
+    def test_insert_get_delete(self, db):
+        users = db.table("users")
+        assert users.get(b"u1")["name"] == b"ada"
+        assert users.get(b"nobody") is None
+        assert users.delete(b"u2")
+        assert users.get(b"u2") is None
+        assert len(users) == 2
+
+    def test_replace(self, db):
+        users = db.table("users")
+        users.insert(b"u1", {"name": b"ada", "city": b"rome",
+                             "balance": b"1"})
+        assert users.get(b"u1")["city"] == b"rome"
+        assert len(users) == 3
+
+    def test_rows_iteration(self, db):
+        keys = {k for k, _ in db.table("users").rows()}
+        assert keys == {b"u1", b"u2", b"u3"}
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.create_table("users", ["x"])
+
+
+class TestQueryViews:
+    def test_filter_query(self, db):
+        view = db.query("users", lambda k, r: r["city"] == b"london")
+        got = {k: r["name"] for k, r in view.rows()}
+        assert got == {b"u1": b"ada", b"u3": b"cyd"}
+        assert len(view) == 2
+
+    def test_view_references_not_copies(self, db):
+        view = db.query("users", lambda k, r: True)
+        # 4 words of references per row, regardless of row size
+        assert view.footprint_words() == 4 * 3
+
+    def test_view_survives_deletes(self, db):
+        view = db.query("users", lambda k, r: r["city"] == b"london")
+        db.table("users").delete(b"u1")
+        db.table("users").delete(b"u3")
+        got = {k for k, _ in view.rows()}
+        assert got == {b"u1", b"u3"}  # the view pinned those versions
+
+    def test_query_is_snapshot_consistent(self, db, machine):
+        seen = []
+
+        def reader():
+            view = db.query("users", lambda k, r: True)
+            yield
+            seen.append({k: r["balance"] for k, r in view.rows()})
+
+        def writer():
+            yield
+            db.table("users").insert(
+                b"u1", {"name": b"ada", "city": b"london", "balance": b"0"})
+            yield
+
+        sched = Scheduler()
+        sched.spawn("r", reader())
+        sched.spawn("w", writer())
+        sched.run()
+        assert seen[0][b"u1"] == b"100"  # pre-update value
+
+    def test_empty_result(self, db):
+        view = db.query("users", lambda k, r: False)
+        assert len(view) == 0
+        assert list(view.rows()) == []
+
+
+class TestTransactions:
+    def test_multi_table_commit(self, db):
+        orders = db.create_table("orders", ["user", "total"])
+        txn = db.begin()
+        txn.insert("orders", b"o1", {"user": b"u1", "total": b"30"})
+        txn.insert("users", b"u1", {"name": b"ada", "city": b"london",
+                                    "balance": b"70"})
+        # nothing visible yet
+        assert orders.get(b"o1") is None
+        assert db.table("users").get(b"u1")["balance"] == b"100"
+        assert txn.commit()
+        assert orders.get(b"o1")["total"] == b"30"
+        assert db.table("users").get(b"u1")["balance"] == b"70"
+
+    def test_conflicting_transaction_aborts_whole(self, db):
+        orders = db.create_table("orders", ["user", "total"])
+        txn = db.begin()
+        txn.insert("orders", b"o1", {"user": b"u1", "total": b"30"})
+        txn.insert("users", b"u1", {"name": b"ada", "city": b"london",
+                                    "balance": b"70"})
+        # interference on an enrolled table
+        db.table("users").insert(b"u9", {"name": b"eve", "city": b"x",
+                                         "balance": b"1"})
+        assert not txn.commit()
+        assert orders.get(b"o1") is None  # all-or-nothing
+        assert db.table("users").get(b"u1")["balance"] == b"100"
+
+    def test_transaction_delete(self, db):
+        txn = db.begin()
+        txn.delete("users", b"u2")
+        assert txn.commit()
+        assert db.table("users").get(b"u2") is None
+        assert len(db.table("users")) == 2
+
+    def test_abort(self, db, machine):
+        txn = db.begin()
+        txn.insert("users", b"u4", {"name": b"dan", "city": b"oslo",
+                                    "balance": b"5"})
+        txn.abort()
+        assert db.table("users").get(b"u4") is None
+        machine.mem.store.check_refcounts()

@@ -1,0 +1,189 @@
+"""Unit tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.workloads.matrices import (
+    fem_2d,
+    graph_symmetric,
+    lp_block,
+    matrix_suite,
+    patterned_block,
+    random_sparse,
+)
+from repro.workloads.text import DATASETS, corpus_for_dataset
+from repro.workloads.traces import generate_workload, zipf_sample
+from repro.workloads.vm_images import (
+    PAGE,
+    ROLE_PROFILES,
+    TILE_ROLES,
+    _Pools,
+    scale_vms,
+    vmmark_tile,
+)
+
+
+class TestTextCorpora:
+    def test_deterministic(self):
+        a = corpus_for_dataset("facebook", seed=5)
+        b = corpus_for_dataset("facebook", seed=5)
+        assert a.items == b.items
+
+    def test_seeds_differ(self):
+        a = corpus_for_dataset("facebook", seed=5)
+        b = corpus_for_dataset("facebook", seed=6)
+        assert a.items != b.items
+
+    def test_item_counts(self):
+        for name, spec in DATASETS.items():
+            corpus = corpus_for_dataset(name)
+            assert len(corpus.items) == spec.n_items
+
+    def test_text_has_cross_item_sharing(self):
+        corpus = corpus_for_dataset("facebook", seed=1)
+        chunks = set()
+        shared = 0
+        for item in corpus.items.values():
+            for at in range(0, len(item) - 64, 64):
+                chunk = item[at:at + 64]
+                if chunk in chunks:
+                    shared += 1
+                chunks.add(chunk)
+        assert shared > 100  # boilerplate repeats across items
+
+    def test_images_high_entropy(self):
+        corpus = corpus_for_dataset("images", seed=1)
+        blob = next(iter(corpus.items.values()))
+        # compressibility check: a random blob has ~256 distinct bytes
+        assert len(set(blob)) > 200
+
+    def test_n_items_override(self):
+        corpus = corpus_for_dataset("scripts", seed=0, n_items=10)
+        assert len(corpus.items) == 10
+
+
+class TestZipf:
+    def test_in_range_and_skewed(self):
+        rng = random.Random(0)
+        samples = [zipf_sample(rng, 100) for _ in range(5000)]
+        assert all(0 <= s < 100 for s in samples)
+        head = sum(1 for s in samples if s < 10)
+        assert head > len(samples) * 0.4  # top-10 dominate
+
+    def test_deterministic(self):
+        assert ([zipf_sample(random.Random(1), 50) for _ in range(20)]
+                == [zipf_sample(random.Random(1), 50) for _ in range(20)])
+
+
+class TestMemcachedWorkload:
+    def test_mix_ratios(self):
+        wl = generate_workload("facebook", n_requests=2000, seed=0,
+                               n_items=40)
+        assert 0.85 <= wl.get_fraction <= 0.95
+        assert len(wl.requests) == 2000
+        sets = [r for r in wl.requests if r.op == "set"]
+        assert all(r.value is not None for r in sets)
+
+    def test_keys_reference_preload(self):
+        wl = generate_workload("scripts", n_requests=300, seed=1, n_items=20)
+        known = set(wl.preload)
+        gets = [r for r in wl.requests if r.op == "get"]
+        assert all(r.key in known for r in gets)
+
+    def test_deterministic(self):
+        a = generate_workload("facebook", n_requests=100, seed=2, n_items=10)
+        b = generate_workload("facebook", n_requests=100, seed=2, n_items=10)
+        assert [(r.op, r.key) for r in a.requests] == \
+            [(r.op, r.key) for r in b.requests]
+
+
+class TestMatrixSuite:
+    def test_suite_covers_categories(self):
+        cats = {spec.category for spec in matrix_suite()}
+        assert cats == {"fem", "lp", "graph", "patterned", "random"}
+
+    def test_entries_in_bounds(self):
+        for spec in matrix_suite():
+            for r, c, v in spec.entries:
+                assert 0 <= r < spec.n and 0 <= c < spec.m
+                assert v != 0.0
+
+    def test_symmetric_flags_accurate(self):
+        for spec in matrix_suite():
+            if spec.symmetric:
+                index = {(r, c): v for r, c, v in spec.entries}
+                for (r, c), v in index.items():
+                    assert index.get((c, r)) == v, spec.name
+
+    def test_csr_bytes_formula(self):
+        spec = random_sparse(100, 500, "t", symmetric=False)
+        assert spec.csr_bytes() == 8 * int(1.5 * spec.nnz + 0.5 * 100)
+
+    def test_symmetric_csr_smaller(self):
+        sym = graph_symmetric(128, 6, "s", seed=0)
+        full = 8 * int(1.5 * sym.nnz + 0.5 * sym.n)
+        assert sym.csr_bytes() < full
+
+    def test_fem_is_laplacian_like(self):
+        spec = fem_2d(8, "t")
+        diag = {r: v for r, c, v in spec.entries if r == c}
+        assert len(diag) == 64  # full diagonal
+        assert all(v > 0 for v in diag.values())
+
+    def test_patterned_repeats(self):
+        spec = patterned_block(64, "t", tile=8)
+        block0 = sorted((r, c, v) for r, c, v in spec.entries if r < 8)
+        block1 = sorted((r - 8, c - 8, v) for r, c, v in spec.entries
+                        if 8 <= r < 16)
+        assert block0 == block1
+
+    def test_lp_not_symmetric(self):
+        spec = lp_block(64, 48, "t")
+        assert not spec.symmetric
+        assert spec.n == 48 and spec.m == 64
+
+    def test_deterministic(self):
+        assert ([s.entries for s in matrix_suite(seed=3)]
+                == [s.entries for s in matrix_suite(seed=3)])
+
+
+class TestVmImages:
+    def test_page_sizes(self):
+        for vm in vmmark_tile(0):
+            assert all(len(p) == PAGE for p in vm.pages)
+            assert vm.allocated_bytes == len(vm.pages) * PAGE
+
+    def test_tile_contains_all_roles(self):
+        roles = [vm.role for vm in vmmark_tile(0)]
+        assert roles == list(TILE_ROLES)
+
+    def test_profiles_fractions_sane(self):
+        for role, prof in ROLE_PROFILES.items():
+            total = (prof["zero"] + prof["os"] + prof["role"]
+                     + prof["patched"] + prof["vocab"])
+            assert total <= 1.0, role
+
+    def test_vms_share_pool_pages(self):
+        vms = scale_vms("database", 4, seed=1)
+        zero = b"\x00" * PAGE
+        pages = [set(vm.pages) - {zero} for vm in vms]
+        shared = pages[0] & pages[1]
+        assert len(shared) >= 2  # OS/role pool pages recur across VMs
+
+    def test_zero_pages_present(self):
+        vms = scale_vms("standby", 3, seed=1)
+        zero = b"\x00" * PAGE
+        assert any(zero in vm.pages for vm in vms)
+
+    def test_deterministic(self):
+        a = scale_vms("database", 2, seed=9)
+        b = scale_vms("database", 2, seed=9)
+        assert [vm.pages for vm in a] == [vm.pages for vm in b]
+
+    def test_shared_pools_cross_tiles(self):
+        pools = _Pools(0)
+        t1 = vmmark_tile(0, pools)
+        t2 = vmmark_tile(1, pools)
+        shared = set(t1[0].pages) & set(t2[0].pages)
+        assert shared  # same OS/app pools across tiles
