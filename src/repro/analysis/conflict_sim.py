@@ -45,14 +45,6 @@ def _machine() -> Machine:
     ))
 
 
-def _sharded_put_steps(kvp: ShardedHMap, key: bytes, value: bytes):
-    """put_steps routed through the shard holding ``key``."""
-    shard_holder = []
-    kvp._with_shard(key, lambda shard: shard_holder.append(shard))
-    retries = yield from shard_holder[0].put_steps(key, value)
-    return retries
-
-
 def run_conflict_storm(shard_bits: int = 0, n_clients: int = 8,
                        ops_per_client: int = 12, get_ratio: float = 0.9,
                        n_keys: int = 64, seed: int = 0) -> ConflictMeasurement:
@@ -84,12 +76,8 @@ def run_conflict_storm(shard_bits: int = 0, n_clients: int = 8,
             else:
                 # a set's snapshot->commit window is interleavable, so
                 # concurrent sets can race (and merge) realistically
-                if shard_bits:
-                    retries = yield from _sharded_put_steps(
-                        kvp, key, b"c%d-%d" % (cid, i))
-                else:
-                    retries = yield from kvp.put_steps(
-                        key, b"c%d-%d" % (cid, i))
+                retries = yield from kvp.put_steps(
+                    key, b"c%d-%d" % (cid, i))
                 true_conflicts[0] += retries or 0
 
     sched = Scheduler(seed=seed)

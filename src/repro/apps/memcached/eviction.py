@@ -114,6 +114,12 @@ class ManagedMemcached(HicampMemcached):
         self.set(key, b"%d" % new)
         return new
 
+    def flush_all(self) -> None:
+        """Drop every item and forget the LRU chain."""
+        self.tick()
+        self._lru.clear()
+        super().flush_all()
+
     # ------------------------------------------------------------------
     # LRU / quota
 

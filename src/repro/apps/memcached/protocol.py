@@ -22,36 +22,77 @@ from typing import List, Optional, Tuple
 
 CRLF = b"\r\n"
 
+#: Storage commands carry a data block after the request line.
+STORAGE_COMMANDS = (b"set", b"add", b"replace", b"cas")
+
+#: Hard cap on a declared data-block size (real memcached: 1 MB default).
+MAX_VALUE_BYTES = 1 << 20
+
 
 class ProtocolError(Exception):
     """Malformed request line or payload."""
 
 
-def parse_request(data: bytes) -> Tuple[bytes, List[bytes], Optional[bytes]]:
-    """Split a raw request into (command, arguments, payload).
+class IncompleteRequestError(ProtocolError):
+    """The buffer ends before the request does — short, not malformed.
 
-    Storage commands carry a data block whose length is announced in the
-    request line; retrieval commands are a single line.
+    A streaming caller (the asyncio serving layer) waits for more bytes;
+    a complete-request caller treats it like any other protocol error.
+    """
+
+
+def parse_frame(data: bytes) -> Tuple[bytes, List[bytes], Optional[bytes], int]:
+    """Parse one request from the head of ``data``.
+
+    Returns ``(command, arguments, payload, consumed)`` where
+    ``consumed`` is the number of bytes the request occupied — the
+    streaming decoder uses it to pop pipelined requests one by one.
+    Raises :class:`IncompleteRequestError` when ``data`` is a valid
+    prefix of a request (more bytes could complete it) and plain
+    :class:`ProtocolError` when it can never become valid.
     """
     if CRLF not in data:
-        raise ProtocolError("unterminated request line")
+        raise IncompleteRequestError("unterminated request line")
     line, rest = data.split(CRLF, 1)
+    consumed = len(line) + len(CRLF)
     parts = line.split()
     if not parts:
         raise ProtocolError("empty request")
     command, args = parts[0], parts[1:]
-    if command in (b"set", b"add", b"replace", b"cas"):
+    if command in STORAGE_COMMANDS:
         if len(args) < 4:
             raise ProtocolError("storage command needs key flags exptime bytes")
         try:
             nbytes = int(args[3])
         except ValueError:
             raise ProtocolError("bad byte count %r" % args[3])
+        if nbytes < 0:
+            raise ProtocolError("negative byte count")
+        if nbytes > MAX_VALUE_BYTES:
+            raise ProtocolError("object too large for cache")
+        if len(rest) < nbytes + len(CRLF):
+            # data block shorter than the declared byte count: do NOT
+            # truncate — either more bytes are coming (streaming) or the
+            # request is rejected outright (complete-request callers)
+            raise IncompleteRequestError(
+                "data block shorter than declared %d bytes" % nbytes)
         payload = rest[:nbytes]
-        if len(payload) != nbytes or rest[nbytes:nbytes + 2] != CRLF:
+        if rest[nbytes:nbytes + len(CRLF)] != CRLF:
             raise ProtocolError("payload length mismatch")
-        return command, args, payload
-    return command, args, None
+        return command, args, payload, consumed + nbytes + len(CRLF)
+    return command, args, None, consumed
+
+
+def parse_request(data: bytes) -> Tuple[bytes, List[bytes], Optional[bytes]]:
+    """Split a raw request into (command, arguments, payload).
+
+    Storage commands carry a data block whose length is announced in the
+    request line; retrieval commands are a single line. ``data`` must
+    hold one complete request (the streaming case is
+    :class:`repro.net.framing.FrameDecoder`).
+    """
+    command, args, payload, _ = parse_frame(data)
+    return command, args, payload
 
 
 class ProtocolHandler:
@@ -179,7 +220,28 @@ class ProtocolHandler:
     def _cmd_stats(self, args, payload) -> bytes:
         stats = self.server.stats
         lines = [b"STAT %s %d\r\n" % (name.encode(), getattr(stats, name))
-                 for name in ("gets", "get_hits", "sets", "deletes")]
+                 for name in ("gets", "get_hits", "sets", "deletes",
+                              "cas_ops", "cas_failures")]
         lines.append(b"STAT curr_items %d\r\n" % self.server.item_count())
+        extra = getattr(self.server, "extra_stats", None)
+        if extra is not None:
+            for name, value in sorted(extra().items()):
+                lines.append(b"STAT %s %s\r\n"
+                             % (name.encode(), str(value).encode()))
         lines.append(b"END\r\n")
         return b"".join(lines)
+
+    # ------------------------------------------------------------------
+    # administrative
+
+    def _cmd_version(self, args, payload) -> bytes:
+        version = getattr(self.server, "version", None)
+        name = version() if version is not None else b"repro-hicamp"
+        return b"VERSION %s\r\n" % name
+
+    def _cmd_flush_all(self, args, payload) -> bytes:
+        flush = getattr(self.server, "flush_all", None)
+        if flush is None:
+            return b"ERROR\r\n"
+        flush()
+        return b"OK\r\n"

@@ -38,6 +38,7 @@ class ServerStats:
     delete_hits: int = 0
     cas_ops: int = 0
     cas_failures: int = 0
+    flushes: int = 0
 
 
 class HicampMemcached:
@@ -133,6 +134,31 @@ class HicampMemcached:
         # hashing the bytes is equivalent to comparing root PLIDs
         import hashlib
         return hashlib.blake2b(current, digest_size=8).digest()
+
+    # ------------------------------------------------------------------
+    # administrative commands
+
+    def flush_all(self) -> None:
+        """Drop every item at once.
+
+        On HICAMP this is one segment release: the map root goes away and
+        hardware reference counting reclaims exactly the unshared lines.
+        """
+        self.stats.flushes += 1
+        old = self.kvp
+        self.kvp = HMap.create(self.machine)
+        old.drop()
+
+    def version(self) -> bytes:
+        """Server identification for the ``version`` command."""
+        return b"repro-hicamp/1.0"
+
+    def extra_stats(self) -> dict:
+        """Server-specific counters appended to the ``stats`` response."""
+        return {
+            "flushes": self.stats.flushes,
+            "footprint_bytes": self.footprint_bytes(),
+        }
 
     # ------------------------------------------------------------------
 

@@ -95,6 +95,97 @@ def _cmd_memcached(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro import Machine
+    from repro.net.server import MemcachedServer
+
+    def backend_factory(machine: Machine):
+        if args.quota is not None:
+            from repro.apps.memcached.eviction import ManagedMemcached
+            return ManagedMemcached(machine, quota_bytes=args.quota)
+        from repro.apps.memcached import HicampMemcached
+        return HicampMemcached(machine)
+
+    async def go() -> None:
+        server = MemcachedServer(
+            host=args.host, port=args.port, shard_count=args.shards,
+            read_timeout=args.read_timeout,
+            backend_factory=backend_factory,
+            queue_depth=args.queue_depth, batch_limit=args.batch_limit)
+        await server.start()
+        print("# repro serve: HICAMP memcached on %s:%d "
+              "(%d shards; `stats json` for metrics; Ctrl-C to stop)"
+              % (args.host, server.port, args.shards), file=sys.stderr)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.shutdown()
+            snapshot = server.router.snapshot()
+            if args.metrics_json:
+                pathlib.Path(args.metrics_json).write_text(
+                    json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+            print("# served %d ops (%.0f ops/s), %d merge commits, "
+                  "%d pending at shutdown"
+                  % (snapshot["ops_total"], snapshot["ops_per_second"],
+                     snapshot["merge_commits"],
+                     snapshot["pending_at_shutdown"]), file=sys.stderr)
+
+    try:
+        asyncio.run(go())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print("repro serve: cannot listen on %s:%d: %s"
+              % (args.host, args.port, exc), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.net.loadgen import run_loadgen
+
+    try:
+        report = asyncio.run(run_loadgen(
+            args.host, args.port, clients=args.clients,
+            ops_per_client=args.ops, pipeline_depth=args.pipeline,
+            get_ratio=args.get_ratio, key_space=args.keys,
+            value_bytes=args.value_bytes, seed=args.seed))
+    except OSError as exc:
+        print("repro loadgen: cannot reach %s:%d: %s"
+              % (args.host, args.port, exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        from repro.analysis.reporting import format_table
+        latency = report.latency()
+        print(format_table(
+            ["metric", "value"],
+            [["clients", report.clients],
+             ["ops", report.ops],
+             ["ops/s", round(report.ops_per_second, 1)],
+             ["stored", report.stored],
+             ["get hits", report.get_hits],
+             ["get misses", report.get_misses],
+             ["cas stored", report.cas_stored],
+             ["cas conflicts", report.cas_conflicts],
+             ["errors", report.errors],
+             ["oracle mismatches", report.oracle_mismatches],
+             ["shared mismatches", report.shared_mismatches],
+             ["batch RTT p50 (ms)", latency["p50_ms"]],
+             ["batch RTT p99 (ms)", latency["p99_ms"]]],
+            title="loadgen against %s:%d" % (args.host, args.port)))
+    return 0 if report.consistent and report.errors == 0 else 1
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from repro import Machine
     from repro.structures import HMap, HString
@@ -154,6 +245,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--quota", type=int, default=None,
                       help="memory quota in bytes (enables LRU eviction)")
     p_mc.set_defaults(func=_cmd_memcached)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="asyncio TCP memcached server on a HICAMP machine")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=11211,
+                       help="TCP port (0 picks an ephemeral port)")
+    p_srv.add_argument("--shards", type=int, default=4,
+                       help="independent KVP shards (default 4)")
+    p_srv.add_argument("--read-timeout", type=float, default=300.0,
+                       help="idle-connection timeout in seconds")
+    p_srv.add_argument("--queue-depth", type=int, default=256,
+                       help="per-shard commit queue bound (backpressure)")
+    p_srv.add_argument("--batch-limit", type=int, default=16,
+                       help="max commits merged per shard batch")
+    p_srv.add_argument("--quota", type=int, default=None,
+                       help="per-machine byte quota (enables LRU eviction)")
+    p_srv.add_argument("--metrics-json", default=None,
+                       help="write a metrics snapshot here on shutdown")
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="pipelined multi-client load generator with oracle checks")
+    p_lg.add_argument("--host", default="127.0.0.1")
+    p_lg.add_argument("--port", type=int, default=11211)
+    p_lg.add_argument("--clients", type=int, default=4)
+    p_lg.add_argument("--ops", type=int, default=200,
+                      help="operations per client")
+    p_lg.add_argument("--pipeline", type=int, default=8,
+                      help="requests per pipelined batch")
+    p_lg.add_argument("--get-ratio", type=float, default=0.5)
+    p_lg.add_argument("--keys", type=int, default=16,
+                      help="keys per keyspace (private and shared)")
+    p_lg.add_argument("--value-bytes", type=int, default=32)
+    p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument("--json", action="store_true",
+                      help="print the report as JSON")
+    p_lg.set_defaults(func=_cmd_loadgen)
 
     p_demo = sub.add_parser("demo", help="one-minute architecture tour")
     p_demo.set_defaults(func=_cmd_demo)

@@ -1,0 +1,94 @@
+"""Streaming frame decoding for the memcached ASCII protocol.
+
+A TCP stream has no request boundaries: one ``read()`` can return half a
+request, exactly one, or a dozen pipelined ones — and a storage command's
+data block can itself be split anywhere, including inside its payload's
+``\\r\\n`` terminator. :func:`repro.apps.memcached.protocol.parse_request`
+assumes one complete request per buffer; :class:`FrameDecoder` removes
+that assumption. Feed it raw socket bytes and it yields complete
+:class:`Frame` objects, buffering any trailing partial request::
+
+    decoder = FrameDecoder()
+    decoder.feed(b"get a\r\nset b 0 0 5\r\nhel")   # -> [Frame(get a)]
+    decoder.feed(b"lo\r\n")                        # -> [Frame(set b)]
+
+Malformed input (bad byte counts, oversized declarations, absurdly long
+request lines) becomes an error :class:`Frame` rather than an exception,
+so the serving layer can answer ``CLIENT_ERROR`` and keep the connection
+alive — exactly what real memcached does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.apps.memcached.protocol import (
+    CRLF,
+    IncompleteRequestError,
+    ProtocolError,
+    parse_frame,
+)
+
+#: Longest accepted request line (real memcached: 2048; generous here).
+MAX_LINE_BYTES = 8192
+
+
+@dataclass
+class Frame:
+    """One complete request as it appeared on the wire."""
+
+    raw: bytes
+    command: bytes = b""
+    args: List[bytes] = field(default_factory=list)
+    payload: Optional[bytes] = None
+    error: Optional[str] = None
+
+    @property
+    def key(self) -> Optional[bytes]:
+        """First argument — the key for every single-key command."""
+        return self.args[0] if self.args else None
+
+
+class FrameDecoder:
+    """Incremental splitter of a byte stream into protocol frames."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered while waiting for the rest of a request."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Absorb ``data``; return every request it completed."""
+        self._buf += data
+        frames: List[Frame] = []
+        while self._buf:
+            try:
+                command, args, payload, consumed = parse_frame(
+                    bytes(self._buf))
+            except IncompleteRequestError:
+                if CRLF not in self._buf and len(self._buf) > MAX_LINE_BYTES:
+                    # unterminated garbage: drop it or the buffer grows
+                    # without bound on a hostile/broken client
+                    frames.append(Frame(raw=bytes(self._buf),
+                                        error="request line too long"))
+                    self._buf.clear()
+                break
+            except ProtocolError as exc:
+                # resync past the offending request line; what follows is
+                # re-examined as the next request (memcached behaves the
+                # same: CLIENT_ERROR, then the stream continues)
+                line, _, rest = bytes(self._buf).partition(CRLF)
+                frames.append(Frame(raw=line + CRLF, error=str(exc)))
+                self._buf = bytearray(rest)
+                continue
+            frames.append(Frame(raw=bytes(self._buf[:consumed]),
+                                command=command, args=args, payload=payload))
+            del self._buf[:consumed]
+        return frames

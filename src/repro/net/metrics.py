@@ -1,0 +1,133 @@
+"""Serving-layer metrics: throughput, latency percentiles, pipelining
+and merge-commit accounting.
+
+The paper's concurrency argument (§5.1.1) is about what happens *under
+load*: lost CAS races resolved by merge-update instead of retries. The
+network server therefore counts exactly those events — alongside the
+operational numbers (ops/s, latency percentiles, pipeline depth) any
+cache server must export — and exposes all of it both as ``STAT`` lines
+for the ``stats`` protocol command and as a JSON-safe snapshot dict.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+# shared with benchmark reporting so the stats command and rendered
+# benchmark tables agree on percentile definitions
+from repro.analysis.reporting import latency_summary, percentile
+
+__all__ = ["ServerMetrics", "latency_summary", "percentile"]
+
+
+@dataclass
+class ServerMetrics:
+    """Counters and reservoirs for one serving process."""
+
+    #: keep this many most-recent request latencies for percentiles
+    reservoir_size: int = 4096
+
+    ops_total: int = 0
+    ops_by_command: Counter = field(default_factory=Counter)
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    read_timeouts: int = 0
+
+    frames_decoded: int = 0
+    #: frames that arrived pipelined behind another in the same read
+    pipelined_requests: int = 0
+    max_pipeline_depth: int = 0
+
+    protocol_errors: int = 0
+    server_errors: int = 0
+
+    #: write batches drained from a shard commit queue in one go
+    commit_batches: int = 0
+    #: lost CAS races absorbed by merge-update (no application retry)
+    merge_commits: int = 0
+    #: application-level retries (logically conflicting updates)
+    cas_retries: int = 0
+    queue_high_watermark: int = 0
+    pending_at_shutdown: int = 0
+
+    _started: float = field(default_factory=time.monotonic)
+    _latencies: Deque[float] = field(default_factory=deque)
+
+    # ------------------------------------------------------------------
+
+    def observe_read(self, nbytes: int, nframes: int) -> None:
+        """Account one socket read that decoded ``nframes`` requests."""
+        self.bytes_in += nbytes
+        self.frames_decoded += nframes
+        if nframes > 1:
+            self.pipelined_requests += nframes - 1
+        self.max_pipeline_depth = max(self.max_pipeline_depth, nframes)
+
+    def observe_request(self, command: bytes, latency_s: float,
+                        response_bytes: int) -> None:
+        """Account one completed request."""
+        self.ops_total += 1
+        self.ops_by_command[command.decode("ascii", "replace")] += 1
+        self.bytes_out += response_bytes
+        self._latencies.append(latency_s)
+        while len(self._latencies) > self.reservoir_size:
+            self._latencies.popleft()
+
+    def observe_queue_depth(self, depth: int) -> None:
+        self.queue_high_watermark = max(self.queue_high_watermark, depth)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        return max(1e-9, time.monotonic() - self._started)
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.ops_total / self.uptime_seconds
+
+    def latency_ms(self) -> List[float]:
+        return [s * 1000.0 for s in self._latencies]
+
+    def snapshot(self, extra: Optional[Dict] = None) -> Dict:
+        """JSON-safe metrics snapshot (the ``stats json`` payload)."""
+        snap: Dict = {
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "ops_total": self.ops_total,
+            "ops_per_second": round(self.ops_per_second, 1),
+            "ops_by_command": dict(self.ops_by_command),
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "connections_opened": self.connections_opened,
+            "connections_closed": self.connections_closed,
+            "read_timeouts": self.read_timeouts,
+            "frames_decoded": self.frames_decoded,
+            "pipelined_requests": self.pipelined_requests,
+            "max_pipeline_depth": self.max_pipeline_depth,
+            "protocol_errors": self.protocol_errors,
+            "server_errors": self.server_errors,
+            "commit_batches": self.commit_batches,
+            "merge_commits": self.merge_commits,
+            "cas_retries": self.cas_retries,
+            "queue_high_watermark": self.queue_high_watermark,
+            "pending_at_shutdown": self.pending_at_shutdown,
+            "latency": latency_summary(self.latency_ms()),
+        }
+        if extra:
+            snap.update(extra)
+        return snap
+
+    def stats_lines(self) -> List[bytes]:
+        """``STAT name value`` lines for the ``stats`` command."""
+        snap = self.snapshot()
+        latency = snap.pop("latency")
+        snap.pop("ops_by_command")
+        snap.update(latency)
+        return [b"STAT %s %s\r\n" % (name.encode(), str(value).encode())
+                for name, value in sorted(snap.items())]

@@ -1,0 +1,395 @@
+"""Shard routing and per-shard commit queues for the serving layer.
+
+The §5.1.1 closing remark — split a contended map so updates stop
+sharing a CAS target — is realized here at serving scale: the router
+fans keys out across ``shard_count`` independent
+:class:`~repro.apps.memcached.server.HicampMemcached` backends, all on
+one shared :class:`~repro.core.machine.Machine` (so deduplication still
+spans the whole cache). Each shard owns an asyncio commit queue and a
+worker coroutine:
+
+* **reads** (``get``/``gets``/``stats``/``version``) execute inline —
+  they are snapshot reads and need no synchronization, the paper's
+  headline memcached property;
+* **writes** are enqueued to the owning shard, giving natural
+  backpressure (bounded queue) and FIFO ordering per shard;
+* a worker drains its queue in *batches*: consecutive ``set`` requests
+  for distinct keys are all staged against the same snapshot and then
+  committed one by one — every commit after the first loses its CAS and
+  is absorbed by **merge-update**, never an application retry. The
+  ``merge_commits`` counter in :class:`ServerMetrics` counts exactly
+  those absorbed races.
+
+Per-connection ordering (a ``get`` pipelined behind a ``set`` of the
+same key must see it) is preserved by :class:`ConnectionState`, which
+tracks the last write enqueued per shard and makes later reads from the
+same connection wait on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import zlib
+from dataclasses import fields as dataclass_fields
+from typing import Awaitable, Callable, Dict, List, Optional
+
+from repro.apps.memcached.protocol import CRLF, ProtocolHandler
+from repro.apps.memcached.server import HicampMemcached
+from repro.core.machine import Machine
+from repro.net.framing import Frame
+from repro.net.metrics import ServerMetrics
+
+#: Commands that mutate the cache and therefore go through a commit queue.
+WRITE_COMMANDS = frozenset((b"set", b"add", b"replace", b"cas", b"delete",
+                            b"incr", b"decr"))
+
+#: Single- or multi-key snapshot reads, answered inline.
+READ_COMMANDS = frozenset((b"get", b"gets"))
+
+#: Queue marker that orders a read after this connection's prior writes.
+#: The worker resolves it in FIFO position and yields, so the reader runs
+#: before any write enqueued *behind* the fence commits.
+FENCE = b"\x00fence"
+
+
+class ConnectionState:
+    """Per-connection ordering state: last write enqueued per shard."""
+
+    def __init__(self) -> None:
+        self.last_write: Dict[int, "asyncio.Future[bytes]"] = {}
+
+    def depends_on(self, shard: int) -> Optional["asyncio.Future[bytes]"]:
+        future = self.last_write.get(shard)
+        if future is not None and future.done():
+            del self.last_write[shard]
+            return None
+        return future
+
+
+class ShardRouter:
+    """Key-to-shard fan-out with per-shard asyncio commit queues."""
+
+    def __init__(self, machine: Optional[Machine] = None,
+                 shard_count: int = 4,
+                 backend_factory: Callable[[Machine], HicampMemcached]
+                 = HicampMemcached,
+                 queue_depth: int = 256,
+                 batch_limit: int = 16,
+                 metrics: Optional[ServerMetrics] = None) -> None:
+        if shard_count < 1:
+            raise ValueError("need at least one shard")
+        self.machine = machine if machine is not None else Machine()
+        self.servers = [backend_factory(self.machine)
+                        for _ in range(shard_count)]
+        self.handlers = [ProtocolHandler(server) for server in self.servers]
+        self.queue_depth = queue_depth
+        self.batch_limit = max(1, batch_limit)
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        # batched merge-commits stage through HMap.put_steps, which only
+        # matches plain backends (a TTL backend rewrites the payload)
+        self._merge_batches = all(type(s) is HicampMemcached
+                                  for s in self.servers)
+        self.queues: List["asyncio.Queue"] = []
+        self._workers: List["asyncio.Task"] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        """Create the commit queues and start one worker per shard."""
+        if self._workers:
+            return
+        self.queues = [asyncio.Queue(maxsize=self.queue_depth)
+                       for _ in self.servers]
+        self._workers = [asyncio.ensure_future(self._worker(i))
+                         for i in range(len(self.servers))]
+
+    async def drain(self) -> None:
+        """Wait until every enqueued commit has been applied."""
+        if self.queues:
+            await asyncio.gather(*(queue.join() for queue in self.queues))
+
+    async def stop(self) -> None:
+        """Flush pending commits, then stop the workers."""
+        await self.drain()
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+
+    def pending_commits(self) -> int:
+        """Writes enqueued but not yet applied, across all shards."""
+        return sum(queue.qsize() for queue in self.queues)
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def shard_index(self, key: bytes) -> int:
+        """Owning shard for ``key`` (stable across the server's life)."""
+        return zlib.crc32(key) % len(self.servers)
+
+    async def dispatch(self, frame: Frame,
+                       conn: ConnectionState) -> Awaitable[bytes]:
+        """Route one frame; returns an awaitable yielding the response.
+
+        Writes are *enqueued* before this returns (waiting for queue
+        space is the backpressure), but their response awaitable resolves
+        only when the shard worker commits them — so a connection can
+        keep dispatching pipelined requests while commits are in flight.
+        """
+        if frame.error is not None:
+            self.metrics.protocol_errors += 1
+            return _completed(b"CLIENT_ERROR %s\r\n" % frame.error.encode())
+        command = frame.command
+        if command in WRITE_COMMANDS and frame.key is not None:
+            return await self._enqueue_write(frame, conn)
+        if command in READ_COMMANDS and len(frame.args) > 1:
+            return await self._multi_get(frame, conn)
+        if command in READ_COMMANDS and frame.key is not None:
+            shard = self.shard_index(frame.key)
+            if conn.depends_on(shard) is not None:
+                fence = await self._enqueue_fence(shard)
+                return asyncio.ensure_future(
+                    self._read_after((fence,), shard, frame))
+            return _completed(self.handlers[shard].handle(frame.raw))
+        if command == b"stats":
+            return await self._stats_after_writes(frame, conn)
+        if command == b"flush_all":
+            return await self._broadcast(frame, conn)
+        # version, unknown commands, malformed writes: any handler can
+        # answer these without touching shard state
+        return _completed(self.handlers[0].handle(frame.raw))
+
+    async def _enqueue_write(self, frame: Frame,
+                             conn: ConnectionState) -> "asyncio.Future[bytes]":
+        shard = self.shard_index(frame.key)
+        future: "asyncio.Future[bytes]" = \
+            asyncio.get_running_loop().create_future()
+        await self.queues[shard].put((frame, future))
+        self.metrics.observe_queue_depth(self.queues[shard].qsize())
+        conn.last_write[shard] = future
+        return future
+
+    async def _enqueue_fence(self, shard: int) -> "asyncio.Future[bytes]":
+        future: "asyncio.Future[bytes]" = \
+            asyncio.get_running_loop().create_future()
+        await self.queues[shard].put((Frame(raw=b"", command=FENCE), future))
+        return future
+
+    async def _read_after(self, deps, shard: int, frame: Frame) -> bytes:
+        for dep in deps:
+            try:
+                await dep
+            except Exception:
+                pass  # the write's own response reports its failure
+        return self.handlers[shard].handle(frame.raw)
+
+    async def _multi_get(self, frame: Frame,
+                         conn: ConnectionState) -> Awaitable[bytes]:
+        shards = {self.shard_index(key) for key in frame.args}
+        deps = [await self._enqueue_fence(shard) for shard in shards
+                if conn.depends_on(shard) is not None]
+
+        async def fetch() -> bytes:
+            for dep in deps:
+                try:
+                    await dep
+                except Exception:
+                    pass
+            with_token = frame.command == b"gets"
+            out = []
+            for key in frame.args:
+                handler = self.handlers[self.shard_index(key)]
+                # reuse the single-shard formatter, dropping its END
+                sub = handler.handle(
+                    (b"gets " if with_token else b"get ") + key + CRLF)
+                out.append(sub[:-len(b"END\r\n")])
+            out.append(b"END\r\n")
+            return b"".join(out)
+
+        return asyncio.ensure_future(fetch())
+
+    async def _stats_after_writes(self, frame: Frame,
+                                  conn: ConnectionState) -> Awaitable[bytes]:
+        # stats pipelined behind this connection's writes must count them
+        deps = [await self._enqueue_fence(shard)
+                for shard in range(len(self.servers))
+                if conn.depends_on(shard) is not None]
+        if not deps:
+            return _completed(self.stats_response(frame.args))
+
+        async def fetch() -> bytes:
+            for dep in deps:
+                await dep
+            return self.stats_response(frame.args)
+
+        return asyncio.ensure_future(fetch())
+
+    async def _broadcast(self, frame: Frame,
+                         conn: ConnectionState) -> Awaitable[bytes]:
+        futures = []
+        for shard in range(len(self.servers)):
+            future: "asyncio.Future[bytes]" = \
+                asyncio.get_running_loop().create_future()
+            await self.queues[shard].put((frame, future))
+            conn.last_write[shard] = future
+            futures.append(future)
+
+        async def gather() -> bytes:
+            responses = await asyncio.gather(*futures)
+            return responses[0]
+
+        return asyncio.ensure_future(gather())
+
+    # ------------------------------------------------------------------
+    # commit workers
+
+    async def _worker(self, shard: int) -> None:
+        queue = self.queues[shard]
+        while True:
+            batch = [await queue.get()]
+            while len(batch) < self.batch_limit:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                await self._apply_batch(shard, batch)
+            finally:
+                for _ in batch:
+                    queue.task_done()
+
+    async def _apply_batch(self, shard: int, batch) -> None:
+        self.metrics.commit_batches += 1
+        pending = list(batch)
+        while pending:
+            run, keys = [], set()
+            while pending and self._merge_batches:
+                frame, _ = pending[0]
+                if (frame.command == b"set" and frame.payload is not None
+                        and frame.key not in keys):
+                    keys.add(frame.key)
+                    run.append(pending.pop(0))
+                else:
+                    break
+            if len(run) > 1:
+                self._commit_merged_sets(shard, run)
+            elif run:
+                self._apply_one(shard, *run[0])
+            else:
+                frame, future = pending.pop(0)
+                if frame.command == FENCE:
+                    _resolve(future, b"")
+                    # let the fenced reader run before any write that was
+                    # enqueued behind the fence commits
+                    await asyncio.sleep(0)
+                else:
+                    self._apply_one(shard, frame, future)
+
+    def _commit_merged_sets(self, shard: int, run) -> None:
+        """Stage distinct-key sets against one snapshot, commit each.
+
+        Every commit after the first finds the root moved, loses its CAS
+        and merges (§3.4/§4.3) — counted as ``merge_commits``. Distinct
+        keys guarantee no logical conflict, so no application retries.
+        """
+        server = self.servers[shard]
+        segmap = self.machine.segmap
+        failures_before = segmap.cas_failures
+        staged = []
+        for frame, future in run:
+            try:
+                gen = server.kvp.put_steps(frame.key, frame.payload)
+                next(gen)  # stage into the update window
+            except Exception as exc:
+                self.metrics.server_errors += 1
+                _resolve(future, b"SERVER_ERROR %s\r\n"
+                         % str(exc).encode("ascii", "replace"))
+                continue
+            staged.append((gen, future))
+        for gen, future in staged:
+            try:
+                retries = _exhaust(gen)
+            except Exception as exc:
+                self.metrics.server_errors += 1
+                _resolve(future, b"SERVER_ERROR %s\r\n"
+                         % str(exc).encode("ascii", "replace"))
+                continue
+            server.stats.sets += 1
+            self.metrics.cas_retries += retries
+            _resolve(future, b"STORED\r\n")
+        self.metrics.merge_commits += segmap.cas_failures - failures_before
+
+    def _apply_one(self, shard: int, frame: Frame, future) -> None:
+        try:
+            response = self.handlers[shard].handle(frame.raw)
+        except Exception as exc:
+            self.metrics.server_errors += 1
+            response = b"SERVER_ERROR %s\r\n" \
+                % str(exc).encode("ascii", "replace")
+        _resolve(future, response)
+
+    # ------------------------------------------------------------------
+    # stats
+
+    def aggregate_server_stats(self) -> Dict[str, int]:
+        """Per-shard operation counters summed across the cache."""
+        totals: Dict[str, int] = {}
+        for server in self.servers:
+            for spec in dataclass_fields(server.stats):
+                totals[spec.name] = totals.get(spec.name, 0) \
+                    + getattr(server.stats, spec.name)
+        totals["curr_items"] = sum(s.item_count() for s in self.servers)
+        return totals
+
+    def snapshot(self) -> Dict:
+        """JSON-safe snapshot of metrics plus cache-wide state."""
+        return self.metrics.snapshot(extra={
+            "shards": len(self.servers),
+            "pending_commits": self.pending_commits(),
+            "footprint_bytes": self.machine.footprint_bytes(),
+            "server": self.aggregate_server_stats(),
+        })
+
+    def stats_response(self, args: List[bytes]) -> bytes:
+        """The ``stats`` command: STAT lines, or one JSON document."""
+        if args and args[0] == b"json":
+            body = json.dumps(self.snapshot(), sort_keys=True).encode()
+            return body + CRLF + b"END\r\n"
+        lines = [b"STAT %s %s\r\n" % (name.encode(), str(value).encode())
+                 for name, value in sorted(
+                     self.aggregate_server_stats().items())]
+        lines.append(b"STAT shards %d\r\n" % len(self.servers))
+        lines.append(b"STAT pending_commits %d\r\n" % self.pending_commits())
+        lines.extend(self.metrics.stats_lines())
+        lines.append(b"END\r\n")
+        return b"".join(lines)
+
+
+# ----------------------------------------------------------------------
+
+
+def _completed(response: bytes) -> "asyncio.Future[bytes]":
+    future: "asyncio.Future[bytes]" = \
+        asyncio.get_running_loop().create_future()
+    future.set_result(response)
+    return future
+
+
+def _resolve(future: "asyncio.Future[bytes]", response: bytes) -> None:
+    if not future.done():
+        future.set_result(response)
+
+
+def _exhaust(gen) -> int:
+    """Drive a put_steps generator to completion; returns its retries."""
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value or 0

@@ -1,0 +1,187 @@
+"""The asyncio TCP front end: HICAMP memcached on a real socket.
+
+``MemcachedServer`` accepts connections, feeds each socket's bytes
+through a :class:`~repro.net.framing.FrameDecoder` (partial reads and
+pipelined requests both work), and routes every complete frame through a
+:class:`~repro.net.router.ShardRouter`. Responses are written strictly
+in request order per connection — the memcached contract — while commits
+proceed asynchronously on the shard workers, so a pipelining client
+overlaps its requests with the server's commit work.
+
+Connection lifecycle:
+
+* per-connection **read timeout** (idle clients are dropped);
+* **bounded in-flight** pipelining: at most ``max_inflight`` responses
+  outstanding per connection before the reader stops dispatching, on top
+  of the bounded per-shard commit queues (the write-side backpressure);
+* ``quit`` and EOF both drain outstanding responses before closing;
+* **graceful shutdown**: stop accepting, unblock reads, flush every
+  commit queue, then stop the workers — no commit is ever dropped.
+
+Example::
+
+    async def main():
+        server = MemcachedServer(port=0, shard_count=4)
+        await server.start()
+        print("listening on", server.port)
+        await server.serve_forever()
+
+    asyncio.run(main())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from repro.core.machine import Machine
+from repro.net.framing import FrameDecoder
+from repro.net.metrics import ServerMetrics
+from repro.net.router import ConnectionState, ShardRouter
+
+#: Largest chunk requested from a socket per read.
+READ_CHUNK = 1 << 16
+
+
+class MemcachedServer:
+    """Asyncio TCP server speaking the memcached ASCII protocol."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 router: Optional[ShardRouter] = None,
+                 machine: Optional[Machine] = None,
+                 shard_count: int = 4,
+                 read_timeout: Optional[float] = None,
+                 max_inflight: int = 64,
+                 **router_kwargs) -> None:
+        self.host = host
+        self.port = port
+        self.read_timeout = read_timeout
+        self.max_inflight = max(1, max_inflight)
+        self.router = router if router is not None else ShardRouter(
+            machine=machine, shard_count=shard_count, **router_kwargs)
+        self.metrics: ServerMetrics = self.router.metrics
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        """Start the shard workers and begin accepting connections."""
+        await self.router.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain connections, flush commits, stop workers.
+
+        After this returns, every accepted write has been committed —
+        ``metrics.pending_at_shutdown`` records the (always zero) count
+        of commits still queued when the workers stopped.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+        # unblock connection readers stuck in read(); already-enqueued
+        # commits still land — the queues drain below. Cancel before
+        # wait_closed(): on 3.12+ wait_closed waits for these handlers.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        await self.router.drain()
+        self.metrics.pending_at_shutdown = self.router.pending_commits()
+        await self.router.stop()
+        self._server = None
+
+    async def __aenter__(self) -> "MemcachedServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown()
+
+    # ------------------------------------------------------------------
+    # per-connection protocol loop
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.metrics.connections_opened += 1
+        decoder = FrameDecoder()
+        conn = ConnectionState()
+        inflight = []  # (dispatch time, command, awaitable), FIFO
+        try:
+            while not self._closing:
+                try:
+                    data = await self._read(reader)
+                except asyncio.TimeoutError:
+                    self.metrics.read_timeouts += 1
+                    break
+                if not data:
+                    break
+                frames = decoder.feed(data)
+                self.metrics.observe_read(len(data), len(frames))
+                quit_seen = False
+                for frame in frames:
+                    if frame.command == b"quit":
+                        quit_seen = True
+                        break
+                    if len(inflight) >= self.max_inflight:
+                        await self._flush(inflight, writer)
+                    response = await self.router.dispatch(frame, conn)
+                    inflight.append(
+                        (time.monotonic(), frame.command, response))
+                await self._flush(inflight, writer)
+                if quit_seen:
+                    break
+        except (asyncio.CancelledError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            self.metrics.connections_closed += 1
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read(self, reader: asyncio.StreamReader) -> bytes:
+        if self.read_timeout is None:
+            return await reader.read(READ_CHUNK)
+        return await asyncio.wait_for(reader.read(READ_CHUNK),
+                                      self.read_timeout)
+
+    async def _flush(self, inflight, writer: asyncio.StreamWriter) -> None:
+        """Resolve outstanding responses in order and write them out."""
+        while inflight:
+            started, command, awaitable = inflight.pop(0)
+            response = await awaitable
+            self.metrics.observe_request(
+                command, time.monotonic() - started, len(response))
+            writer.write(response)
+        await writer.drain()
+
+
+async def serve(host: str = "127.0.0.1", port: int = 11211,
+                **kwargs) -> None:
+    """Run a server until cancelled (the ``repro serve`` entry point)."""
+    server = MemcachedServer(host=host, port=port, **kwargs)
+    await server.start()
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.shutdown()

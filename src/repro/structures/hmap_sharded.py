@@ -60,6 +60,10 @@ class ShardedHMap:
         finally:
             seg.release()
 
+    def shard_for(self, key: bytes) -> HMap:
+        """The sub-map that holds ``key`` (stable for a given content)."""
+        return self._with_shard(key, lambda shard: shard)
+
     def get(self, key: bytes) -> Optional[bytes]:
         """Value for ``key`` or None."""
         return self._with_shard(key, lambda shard: shard.get(key))
@@ -67,6 +71,17 @@ class ShardedHMap:
     def put(self, key: bytes, value: bytes) -> bool:
         """Insert or update; returns True when new."""
         return self._with_shard(key, lambda shard: shard.put(key, value))
+
+    def put_steps(self, key: bytes, value: bytes, max_retries: int = 16):
+        """Generator variant of :meth:`put` (see :meth:`HMap.put_steps`).
+
+        Routed to the owning shard, so concurrent updates in *different*
+        shards never even share a CAS target — the update window only
+        interleaves with same-shard clients.
+        """
+        retries = yield from self.shard_for(key).put_steps(
+            key, value, max_retries)
+        return retries
 
     def delete(self, key: bytes) -> bool:
         """Remove ``key``."""

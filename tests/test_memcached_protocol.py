@@ -106,6 +106,53 @@ class TestCommands:
         assert handler.handle(b"incr n xyz\r\n").startswith(b"CLIENT_ERROR")
 
 
+class TestAdminCommands:
+    def test_version(self, handler):
+        response = handler.handle(b"version\r\n")
+        assert response.startswith(b"VERSION ")
+        assert response.endswith(b"\r\n")
+
+    def test_flush_all_empties_cache(self, handler):
+        for i in range(5):
+            handler.handle(b"set k%d 0 0 1\r\nv\r\n" % i)
+        assert handler.handle(b"flush_all\r\n") == b"OK\r\n"
+        assert handler.handle(b"get k0\r\n") == b"END\r\n"
+        assert b"STAT curr_items 0" in handler.handle(b"stats\r\n")
+
+    def test_flush_all_then_store_again(self, handler):
+        handler.handle(b"set k 0 0 1\r\na\r\n")
+        handler.handle(b"flush_all\r\n")
+        assert handler.handle(b"set k 0 0 1\r\nb\r\n") == b"STORED\r\n"
+        assert b"VALUE k 0 1\r\nb" in handler.handle(b"get k\r\n")
+
+    def test_stats_includes_cas_and_extra(self, handler):
+        handler.handle(b"set k 0 0 2\r\nv1\r\n")
+        token = handler.handle(b"gets k\r\n").split(b"\r\n")[0].split()[-1]
+        handler.handle(b"cas k 0 0 2 %s\r\nv2\r\n" % token)
+        # a stale token is rejected at the protocol layer, before the
+        # server-level cas counter — only the applied cas is counted
+        handler.handle(b"cas k 0 0 2 %s\r\nv3\r\n" % token)
+        handler.handle(b"flush_all\r\n")
+        response = handler.handle(b"stats\r\n")
+        assert b"STAT cas_ops 1" in response
+        assert b"STAT cas_failures 0" in response
+        assert b"STAT flushes 1" in response
+        assert b"STAT footprint_bytes" in response
+
+    def test_managed_flush_all_clears_lru(self, machine):
+        from repro.apps.memcached.eviction import ManagedMemcached
+        server = ManagedMemcached(machine)
+        handler = ProtocolHandler(server)
+        for i in range(4):
+            handler.handle(b"set k%d 0 0 1\r\nv\r\n" % i)
+        handler.handle(b"flush_all\r\n")
+        assert server.item_count() == 0
+        assert not server._lru
+        # a fresh set must not be evicted because of stale LRU entries
+        assert handler.handle(b"set new 0 0 1\r\nx\r\n") == b"STORED\r\n"
+        assert b"VALUE new" in handler.handle(b"get new\r\n")
+
+
 class TestProtocolRobustness:
     def test_random_bytes_never_crash(self, handler):
         import random

@@ -1,0 +1,141 @@
+"""Tests for the streaming frame decoder (split and pipelined frames)."""
+
+import pytest
+
+from repro.apps.memcached.protocol import (
+    IncompleteRequestError,
+    ProtocolError,
+    parse_frame,
+    parse_request,
+)
+from repro.net.framing import MAX_LINE_BYTES, Frame, FrameDecoder
+
+
+class TestParseFrameRegression:
+    """Satellite: short data blocks are rejected, never truncated."""
+
+    def test_short_data_block_is_incomplete_not_truncated(self):
+        # declared 10 bytes, only 5 present: must NOT come back as b"short"
+        with pytest.raises(IncompleteRequestError):
+            parse_request(b"set k 0 0 10\r\nshort\r\n")
+
+    def test_unterminated_line_is_incomplete(self):
+        with pytest.raises(IncompleteRequestError):
+            parse_request(b"get key")
+
+    def test_missing_payload_terminator_is_malformed(self):
+        # declared count shorter than the actual block: permanent error
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(b"set k 0 0 3\r\nhello\r\n")
+        assert not isinstance(exc.value, IncompleteRequestError)
+
+    def test_negative_byte_count_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"set k 0 0 -1\r\n\r\n")
+
+    def test_oversized_byte_count_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(b"set k 0 0 99999999\r\n")
+        assert not isinstance(exc.value, IncompleteRequestError)
+
+    def test_consumed_covers_whole_storage_frame(self):
+        raw = b"set k 0 0 5\r\nhello\r\n"
+        command, args, payload, consumed = parse_frame(raw + b"get x\r\n")
+        assert command == b"set" and payload == b"hello"
+        assert consumed == len(raw)
+
+
+class TestFrameDecoder:
+    def test_single_complete_frame(self):
+        frames = FrameDecoder().feed(b"get alpha\r\n")
+        assert [f.command for f in frames] == [b"get"]
+        assert frames[0].args == [b"alpha"]
+        assert frames[0].error is None
+
+    def test_pipelined_frames_in_one_read(self):
+        data = (b"set a 0 0 1\r\nx\r\n"
+                b"get a\r\n"
+                b"delete a\r\n")
+        frames = FrameDecoder().feed(data)
+        assert [f.command for f in frames] == [b"set", b"get", b"delete"]
+        assert frames[0].payload == b"x"
+
+    def test_byte_by_byte_feed(self):
+        decoder = FrameDecoder()
+        request = b"set key 0 0 5\r\nhello\r\n"
+        collected = []
+        for i, byte in enumerate(request):
+            frames = decoder.feed(bytes([byte]))
+            if i < len(request) - 1:
+                assert frames == []
+            collected.extend(frames)
+        assert len(collected) == 1
+        assert collected[0].payload == b"hello"
+        assert decoder.pending_bytes == 0
+
+    def test_split_inside_payload(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"set k 0 0 6\r\nab") == []
+        frames = decoder.feed(b"c\r\nd\r\nget k\r\n")
+        assert frames[0].payload == b"ab" + b"c\r\nd"[:4]
+        assert frames[0].payload == b"abc\r\nd"[:6]
+        assert frames[1].command == b"get"
+
+    def test_binary_payload_with_crlf_inside(self):
+        value = b"a\r\nb\r\nc"
+        decoder = FrameDecoder()
+        frames = decoder.feed(b"set k 0 0 %d\r\n%s\r\n" % (len(value), value))
+        assert frames[0].payload == value
+
+    def test_malformed_count_yields_error_frame_and_resyncs(self):
+        decoder = FrameDecoder()
+        frames = decoder.feed(b"set k 0 0 zz\r\nget ok\r\n")
+        assert frames[0].error is not None
+        assert frames[1].command == b"get" and frames[1].args == [b"ok"]
+
+    def test_short_declared_count_error_then_stream_continues(self):
+        decoder = FrameDecoder()
+        frames = decoder.feed(b"set k 0 0 3\r\nhello\r\n")
+        # the request line is rejected; the orphaned payload line is then
+        # (mis)read as a command — exactly how real memcached resyncs
+        assert frames[0].error is not None
+        assert frames[1].command == b"hello"
+
+    def test_runaway_line_is_dropped(self):
+        decoder = FrameDecoder()
+        frames = decoder.feed(b"x" * (MAX_LINE_BYTES + 1))
+        assert len(frames) == 1 and frames[0].error is not None
+        assert decoder.pending_bytes == 0
+
+    def test_empty_line_is_error_frame(self):
+        frames = FrameDecoder().feed(b"\r\nget k\r\n")
+        assert frames[0].error is not None
+        assert frames[1].command == b"get"
+
+    def test_frame_key_helper(self):
+        frame = Frame(raw=b"", command=b"get", args=[b"k1", b"k2"])
+        assert frame.key == b"k1"
+        assert Frame(raw=b"", command=b"stats").key is None
+
+    def test_fuzzed_stream_never_loses_sync(self):
+        import random
+        rng = random.Random(7)
+        requests = []
+        for i in range(50):
+            if rng.random() < 0.5:
+                value = bytes(rng.randrange(256)
+                              for _ in range(rng.randrange(20)))
+                requests.append(b"set k%d 0 0 %d\r\n%s\r\n"
+                                % (i, len(value), value))
+            else:
+                requests.append(b"get k%d\r\n" % i)
+        stream = b"".join(requests)
+        decoder = FrameDecoder()
+        frames = []
+        position = 0
+        while position < len(stream):
+            step = rng.randrange(1, 9)
+            frames.extend(decoder.feed(stream[position:position + step]))
+            position += step
+        assert len(frames) == len(requests)
+        assert all(f.error is None for f in frames)
