@@ -30,7 +30,15 @@ MAX_VALUE_BYTES = 1 << 20
 
 
 class ProtocolError(Exception):
-    """Malformed request line or payload."""
+    """Malformed request line or payload.
+
+    ``resync_bytes``, when non-zero, tells a streaming caller how many
+    bytes of the buffer the malformed request occupies — request line
+    *and* its data block — so the decoder resynchronizes at the next
+    pipelined request instead of misreading the payload as a command.
+    """
+
+    resync_bytes: int = 0
 
 
 class IncompleteRequestError(ProtocolError):
@@ -78,7 +86,14 @@ def parse_frame(data: bytes) -> Tuple[bytes, List[bytes], Optional[bytes], int]:
                 "data block shorter than declared %d bytes" % nbytes)
         payload = rest[:nbytes]
         if rest[nbytes:nbytes + len(CRLF)] != CRLF:
-            raise ProtocolError("payload length mismatch")
+            exc = ProtocolError("payload length mismatch")
+            # the data block's real terminator is the first CRLF at or
+            # after the declared length; everything up to it belongs to
+            # this (malformed) request, not the next one
+            end = rest.find(CRLF, nbytes)
+            if end != -1:
+                exc.resync_bytes = consumed + end + len(CRLF)
+            raise exc
         return command, args, payload, consumed + nbytes + len(CRLF)
     return command, args, None, consumed
 

@@ -186,6 +186,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report.consistent and report.errors == 0 else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.testing.fuzz import EpisodeConfig, run_fuzz
+
+    cfg = EpisodeConfig(clients=args.clients, ops_per_client=args.ops,
+                        pipeline_depth=args.pipeline, key_space=args.keys,
+                        shards=args.shards)
+    report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
+    print(report.render(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from repro import Machine
     from repro.structures import HMap, HString
@@ -284,6 +295,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument("--json", action="store_true",
                       help="print the report as JSON")
     p_lg.set_defaults(func=_cmd_loadgen)
+
+    p_fz = sub.add_parser(
+        "fuzz",
+        help="seeded adversarial episodes against a live server "
+             "(fault injection + linearizability + invariant audits)")
+    p_fz.add_argument("--episodes", type=int, default=10,
+                      help="number of seeded episodes (default 10)")
+    p_fz.add_argument("--seed", type=int, default=0,
+                      help="run seed; a failure prints the episode seed "
+                           "that reproduces it with --episodes 1")
+    p_fz.add_argument("--clients", type=int, default=3,
+                      help="concurrent scripted connections per episode")
+    p_fz.add_argument("--ops", type=int, default=24,
+                      help="operations per client per episode")
+    p_fz.add_argument("--pipeline", type=int, default=4,
+                      help="requests per pipelined batch")
+    p_fz.add_argument("--keys", type=int, default=8,
+                      help="shared keyspace size (contention)")
+    p_fz.add_argument("--shards", type=int, default=2)
+    p_fz.add_argument("--verbose", action="store_true",
+                      help="print the full trace of passing episodes too")
+    p_fz.set_defaults(func=_cmd_fuzz)
 
     p_demo = sub.add_parser("demo", help="one-minute architecture tour")
     p_demo.set_defaults(func=_cmd_demo)

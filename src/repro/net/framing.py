@@ -81,12 +81,21 @@ class FrameDecoder:
                     self._buf.clear()
                 break
             except ProtocolError as exc:
-                # resync past the offending request line; what follows is
-                # re-examined as the next request (memcached behaves the
-                # same: CLIENT_ERROR, then the stream continues)
-                line, _, rest = bytes(self._buf).partition(CRLF)
-                frames.append(Frame(raw=line + CRLF, error=str(exc)))
-                self._buf = bytearray(rest)
+                # resync: the parser may know exactly how many bytes the
+                # malformed request occupied (request line plus its data
+                # block); otherwise skip just the offending line. Either
+                # way, what follows is re-examined as the next request
+                # (memcached behaves the same: CLIENT_ERROR, then the
+                # stream continues)
+                skip = getattr(exc, "resync_bytes", 0)
+                if 0 < skip <= len(self._buf):
+                    frames.append(Frame(raw=bytes(self._buf[:skip]),
+                                        error=str(exc)))
+                    del self._buf[:skip]
+                else:
+                    line, _, rest = bytes(self._buf).partition(CRLF)
+                    frames.append(Frame(raw=line + CRLF, error=str(exc)))
+                    self._buf = bytearray(rest)
                 continue
             frames.append(Frame(raw=bytes(self._buf[:consumed]),
                                 command=command, args=args, payload=payload))

@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 # shared with benchmark reporting so the stats command and rendered
 # benchmark tables agree on percentile definitions
@@ -29,6 +29,11 @@ class ServerMetrics:
 
     #: keep this many most-recent request latencies for percentiles
     reservoir_size: int = 4096
+
+    #: time source for request timing and uptime. Injectable so tests
+    #: can drive a deterministic monotonic clock and latency-percentile
+    #: assertions stop depending on wall time.
+    clock: Callable[[], float] = time.monotonic
 
     ops_total: int = 0
     ops_by_command: Counter = field(default_factory=Counter)
@@ -56,8 +61,16 @@ class ServerMetrics:
     queue_high_watermark: int = 0
     pending_at_shutdown: int = 0
 
-    _started: float = field(default_factory=time.monotonic)
+    _started: float = -1.0
     _latencies: Deque[float] = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self._started < 0:
+            self._started = self.clock()
+
+    def now(self) -> float:
+        """The metrics time source (the server timestamps through it)."""
+        return self.clock()
 
     # ------------------------------------------------------------------
 
@@ -86,7 +99,7 @@ class ServerMetrics:
 
     @property
     def uptime_seconds(self) -> float:
-        return max(1e-9, time.monotonic() - self._started)
+        return max(1e-9, self.clock() - self._started)
 
     @property
     def ops_per_second(self) -> float:

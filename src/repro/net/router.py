@@ -76,9 +76,14 @@ class ShardRouter:
                  = HicampMemcached,
                  queue_depth: int = 256,
                  batch_limit: int = 16,
-                 metrics: Optional[ServerMetrics] = None) -> None:
+                 metrics: Optional[ServerMetrics] = None,
+                 injector=None) -> None:
         if shard_count < 1:
             raise ValueError("need at least one shard")
+        #: optional :class:`repro.testing.faults.FaultInjector`; its
+        #: ``before_commit`` hook stalls a shard worker between draining
+        #: a batch and applying it (adversarial testing only).
+        self.injector = injector
         self.machine = machine if machine is not None else Machine()
         self.servers = [backend_factory(self.machine)
                         for _ in range(shard_count)]
@@ -259,6 +264,10 @@ class ShardRouter:
                 except asyncio.QueueEmpty:
                     break
             try:
+                if self.injector is not None:
+                    # commit-queue stall: the batch is drained but its
+                    # commits are delayed while snapshot reads proceed
+                    await self.injector.before_commit(shard)
                 await self._apply_batch(shard, batch)
             finally:
                 for _ in batch:

@@ -32,13 +32,12 @@ Example::
 from __future__ import annotations
 
 import asyncio
-import time
 from typing import Optional
 
 from repro.core.machine import Machine
 from repro.net.framing import FrameDecoder
 from repro.net.metrics import ServerMetrics
-from repro.net.router import ConnectionState, ShardRouter
+from repro.net.router import WRITE_COMMANDS, ConnectionState, ShardRouter
 
 #: Largest chunk requested from a socket per read.
 READ_CHUNK = 1 << 16
@@ -53,13 +52,23 @@ class MemcachedServer:
                  shard_count: int = 4,
                  read_timeout: Optional[float] = None,
                  max_inflight: int = 64,
+                 injector=None,
                  **router_kwargs) -> None:
         self.host = host
         self.port = port
         self.read_timeout = read_timeout
         self.max_inflight = max(1, max_inflight)
+        #: optional :class:`repro.testing.faults.FaultInjector`. Hook
+        #: points: split socket reads, reset-after-write-dispatch,
+        #: delayed flushes, split response writes — plus the router's
+        #: commit-stall hook. ``None`` keeps every hook a no-op.
+        self.injector = injector
         self.router = router if router is not None else ShardRouter(
-            machine=machine, shard_count=shard_count, **router_kwargs)
+            machine=machine, shard_count=shard_count, injector=injector,
+            **router_kwargs)
+        if router is not None and injector is not None \
+                and router.injector is None:
+            router.injector = injector
         self.metrics: ServerMetrics = self.router.metrics
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set = set()
@@ -118,18 +127,26 @@ class MemcachedServer:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
         self.metrics.connections_opened += 1
+        injector = self.injector
+        scope = injector.next_connection() if injector is not None else -1
         decoder = FrameDecoder()
         conn = ConnectionState()
         inflight = []  # (dispatch time, command, awaitable), FIFO
         try:
             while not self._closing:
-                try:
-                    data = await self._read(reader)
-                except asyncio.TimeoutError:
-                    self.metrics.read_timeouts += 1
-                    break
+                data = b""
+                if injector is not None:
+                    data = injector.held_bytes(scope)
                 if not data:
-                    break
+                    try:
+                        data = await self._read(reader)
+                    except asyncio.TimeoutError:
+                        self.metrics.read_timeouts += 1
+                        break
+                    if not data:
+                        break
+                    if injector is not None:
+                        data = injector.on_read(scope, data)
                 frames = decoder.feed(data)
                 self.metrics.observe_read(len(data), len(frames))
                 quit_seen = False
@@ -138,11 +155,17 @@ class MemcachedServer:
                         quit_seen = True
                         break
                     if len(inflight) >= self.max_inflight:
-                        await self._flush(inflight, writer)
+                        await self._flush(inflight, writer, scope)
                     response = await self.router.dispatch(frame, conn)
                     inflight.append(
-                        (time.monotonic(), frame.command, response))
-                await self._flush(inflight, writer)
+                        (self.metrics.now(), frame.command, response))
+                    if injector is not None \
+                            and frame.command in WRITE_COMMANDS:
+                        # may raise InjectedReset: the commit is already
+                        # enqueued, the response is never flushed — the
+                        # "connection reset mid-commit" scenario
+                        injector.after_dispatch(scope, frame.command)
+                await self._flush(inflight, writer, scope)
                 if quit_seen:
                     break
         except (asyncio.CancelledError, ConnectionResetError,
@@ -163,14 +186,23 @@ class MemcachedServer:
         return await asyncio.wait_for(reader.read(READ_CHUNK),
                                       self.read_timeout)
 
-    async def _flush(self, inflight, writer: asyncio.StreamWriter) -> None:
+    async def _flush(self, inflight, writer: asyncio.StreamWriter,
+                     scope: int = -1) -> None:
         """Resolve outstanding responses in order and write them out."""
+        injector = self.injector
+        if injector is not None and inflight:
+            await injector.before_flush(scope)
         while inflight:
             started, command, awaitable = inflight.pop(0)
             response = await awaitable
             self.metrics.observe_request(
-                command, time.monotonic() - started, len(response))
-            writer.write(response)
+                command, self.metrics.now() - started, len(response))
+            if injector is not None:
+                for chunk in injector.split_write(scope, response):
+                    writer.write(chunk)
+                    await writer.drain()
+            else:
+                writer.write(response)
         await writer.drain()
 
 

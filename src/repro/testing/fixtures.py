@@ -1,0 +1,82 @@
+"""Reusable pytest fixtures for the testing harness.
+
+Kept out of :mod:`repro.testing`'s package namespace so importing the
+harness from production code (the ``repro fuzz`` CLI) never imports
+pytest. Test suites get everything via the repository ``conftest.py``::
+
+    pytest_plugins = ["repro.testing.fixtures"]
+
+Fixtures:
+
+``machine_audit``
+    Callable running every invariant auditor against a machine and
+    raising ``AssertionError`` (with the full failure list) on any
+    violation. Use at the end of a test that mutated a machine.
+
+``audited_machine``
+    A fresh :class:`~repro.core.machine.Machine` that is strict-audited
+    at teardown — refcount excesses (leaks) fail the test too, so only
+    use it when the test releases everything it allocates.
+
+``fault_plan`` / ``fault_injector``
+    Factories for seeded :class:`~repro.testing.faults.FaultPlan` /
+    :class:`~repro.testing.faults.FaultInjector` instances.
+
+``history_recorder``
+    A fresh :class:`~repro.testing.history.HistoryRecorder`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.testing.auditors import AuditReport, audit_machine
+from repro.testing.faults import FaultInjector, FaultPlan
+from repro.testing.history import HistoryRecorder
+
+
+@pytest.fixture
+def machine_audit():
+    """Callable: strict=False audit that raises on any failure."""
+
+    def _audit(machine: Machine, strict: bool = False) -> AuditReport:
+        report = audit_machine(machine, strict=strict)
+        report.raise_if_failed()
+        return report
+
+    return _audit
+
+
+@pytest.fixture
+def audited_machine():
+    """A machine that must strict-audit clean when the test ends."""
+    machine = Machine()
+    yield machine
+    audit_machine(machine, strict=True).raise_if_failed()
+
+
+@pytest.fixture
+def fault_plan():
+    """Factory for seeded fault plans."""
+
+    def _make(seed: int = 0, rates=None, max_stall: int = 6) -> FaultPlan:
+        return FaultPlan(seed, rates, max_stall=max_stall)
+
+    return _make
+
+
+@pytest.fixture
+def fault_injector(fault_plan):
+    """Factory for injectors bound to a seeded plan."""
+
+    def _make(seed: int = 0, rates=None,
+              max_stall: int = 6) -> FaultInjector:
+        return FaultInjector(fault_plan(seed, rates, max_stall))
+
+    return _make
+
+
+@pytest.fixture
+def history_recorder() -> HistoryRecorder:
+    return HistoryRecorder()

@@ -1,0 +1,418 @@
+"""Seeded adversarial episodes against a live server (``repro fuzz``).
+
+One **episode** is: build a :class:`~repro.testing.faults.FaultPlan`
+from the episode seed, start a :class:`~repro.net.server.MemcachedServer`
+with the injector wired into every hook point, drive deterministic
+scripted clients at it (pipelined mixed traffic over a shared keyspace,
+recorded as an operation history), then judge the outcome twice —
+
+* the :mod:`~repro.testing.history` linearizability checker over the
+  recorded history (including a final read-back of every key after the
+  commit queues drained), and
+* the :mod:`~repro.testing.auditors` machine auditors in strict mode
+  (the harness holds no snapshots, so any refcount excess is a leak).
+
+**Reproducibility contract**: an episode's *trace* — the fault plan,
+the per-client op scripts, and the verdicts — is a pure function of the
+episode seed. Client scripts are derived from the seed before any byte
+hits a socket; injection decisions are pure functions of
+``(seed, point, scope, seq)``; the verdicts are scheduling-independent
+on correct code (any legal interleaving is linearizable and every
+quiesced machine audits clean). ``repro fuzz --episodes N --seed S``
+therefore prints byte-identical output on every run, and a failing
+episode prints the single seed that replays it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.machine import Machine
+from repro.net.server import MemcachedServer
+from repro.testing.auditors import audit_machine
+from repro.testing.faults import CONN_RESET, FaultInjector, FaultPlan
+from repro.testing.history import (
+    UNMATCHABLE,
+    HistoryRecorder,
+    check_history,
+)
+
+CRLF = b"\r\n"
+
+#: Episode fault rates: the defaults plus occasional injected resets.
+EPISODE_RATES = {CONN_RESET: 0.06}
+
+#: Wall-clock ceiling per episode; hitting it is itself a failure.
+EPISODE_TIMEOUT = 60.0
+
+
+@dataclass
+class EpisodeConfig:
+    """Shape of one adversarial episode (all derived-state seeded)."""
+
+    clients: int = 3
+    ops_per_client: int = 24
+    pipeline_depth: int = 4
+    key_space: int = 8
+    shards: int = 2
+    batch_limit: int = 4
+    max_stall: int = 6
+    rates: Optional[Dict[str, float]] = None
+
+
+# ----------------------------------------------------------------------
+# scripted clients
+
+
+def _derive(seed: int, label: str) -> int:
+    digest = hashlib.blake2b(b"%d/%s" % (seed, label.encode()),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _build_script(seed: int, cid: int,
+                  cfg: EpisodeConfig) -> List[List[Tuple[str, bytes]]]:
+    """Plan one client's batches of (kind, key) before the episode runs.
+
+    Pure function of the seed — the scripts are part of the episode
+    trace. ``cas`` is only planned for keys the plan has already
+    ``gets``-ed, so every cas has a deterministic source for its token.
+    """
+    rng = random.Random(_derive(seed, "script/%d" % cid))
+    tokened = set()
+    ops: List[Tuple[str, bytes]] = []
+    for _ in range(cfg.ops_per_client):
+        key = b"k%02d" % rng.randrange(cfg.key_space)
+        roll = rng.random()
+        if roll < 0.40:
+            kind = "set"
+        elif roll < 0.65:
+            kind = "get"
+        elif roll < 0.80:
+            kind = "gets"
+            tokened.add(key)
+        elif roll < 0.92 and tokened:
+            kind = "cas"
+            key = sorted(tokened)[rng.randrange(len(tokened))]
+        else:
+            kind = "delete"
+        ops.append((kind, key))
+    return [ops[i:i + cfg.pipeline_depth]
+            for i in range(0, len(ops), cfg.pipeline_depth)]
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    """One response line; an injected reset can cut it anywhere."""
+    line = await reader.readline()
+    if not line.endswith(CRLF):
+        raise ConnectionResetError("EOF mid-response")
+    return line
+
+
+async def _read_values(
+        reader: asyncio.StreamReader
+) -> Dict[bytes, Tuple[bytes, bytes]]:
+    """A get/gets response: key -> (value, wire token or b"").
+
+    Unlike the loadgen helper, EOF at any point raises
+    :class:`ConnectionResetError` — under fault injection a reset can
+    land mid-response, and the interrupted ops must stay *pending*
+    rather than crash the episode.
+    """
+    values: Dict[bytes, Tuple[bytes, bytes]] = {}
+    while True:
+        line = await _read_line(reader)
+        if line == b"END" + CRLF:
+            return values
+        if not line.startswith(b"VALUE "):
+            raise ValueError("unexpected line in value response: %r" % line)
+        parts = line.split()
+        key, nbytes = parts[1], int(parts[3])
+        token = parts[4] if len(parts) > 4 else b""
+        block = await reader.readexactly(nbytes + len(CRLF))
+        values[key] = (block[:-len(CRLF)], token)
+
+
+def script_digest(script: List[List[Tuple[str, bytes]]]) -> str:
+    material = b";".join(b"%s %s" % (kind.encode(), key)
+                         for batch in script for kind, key in batch)
+    return hashlib.blake2b(material, digest_size=6).hexdigest()
+
+
+class RecordingClient:
+    """Drives one scripted connection and records its history."""
+
+    def __init__(self, cid: int, host: str, port: int,
+                 script: List[List[Tuple[str, bytes]]],
+                 recorder: HistoryRecorder) -> None:
+        self.cid = cid
+        self.host, self.port = host, port
+        self.script = script
+        self.recorder = recorder
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.protocol_errors: List[str] = []
+        self._seq = 0
+        self._value_seq = 0
+        # key -> (wire token bytes, the value the token was read from)
+        self._tokens: Dict[bytes, Tuple[bytes, bytes]] = {}
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    def _fresh_value(self) -> bytes:
+        self._value_seq += 1
+        return b"v%d.%d" % (self.cid, self._value_seq)
+
+    def _encode(self, kind: str, key: bytes):
+        """Wire bytes plus the recorder fields for one planned op."""
+        if kind == "set":
+            value = self._fresh_value()
+            return (b"set %s 0 0 %d\r\n%s\r\n" % (key, len(value), value),
+                    value, None)
+        if kind == "cas":
+            value = self._fresh_value()
+            token, expect = self._tokens.get(key, (b"0", UNMATCHABLE))
+            return (b"cas %s 0 0 %d %s\r\n%s\r\n"
+                    % (key, len(value), token, value), value, expect)
+        return (b"%s %s\r\n" % (kind.encode(), key), None, None)
+
+    async def _consume(self, op) -> None:
+        """Read and record one op's response; raises on disconnect."""
+        assert self.reader is not None
+        if op.kind in ("get", "gets"):
+            values = await _read_values(self.reader)
+            if op.key in values:
+                value, token = values[op.key]
+                if op.kind == "gets":
+                    self._tokens[op.key] = (token, value)
+                self.recorder.complete(op, ("value", value))
+            else:
+                self.recorder.complete(op, ("miss",))
+            return
+        line = await _read_line(self.reader)
+        mapped = {b"STORED" + CRLF: ("stored",),
+                  b"NOT_STORED" + CRLF: ("not_stored",),
+                  b"EXISTS" + CRLF: ("exists",),
+                  b"NOT_FOUND" + CRLF: ("not_found",),
+                  b"DELETED" + CRLF: ("deleted",)}.get(line)
+        if mapped is None:
+            if line.startswith((b"CLIENT_ERROR", b"SERVER_ERROR",
+                                b"ERROR")):
+                self.protocol_errors.append(
+                    "c%d %s %r -> %r" % (self.cid, op.kind, op.key, line))
+                mapped = ("error", line)
+            else:
+                raise ValueError("unparseable response %r" % line)
+        self.recorder.complete(op, mapped)
+
+    async def run(self) -> None:
+        assert self.reader is not None and self.writer is not None
+        try:
+            for batch in self.script:
+                ops = []
+                parts = []
+                for kind, key in batch:
+                    wire, value, expect = self._encode(kind, key)
+                    parts.append(wire)
+                    ops.append(self.recorder.invoke(
+                        self.cid, self._seq, kind, key,
+                        value=value, expect=expect))
+                    self._seq += 1
+                self.writer.write(b"".join(parts))
+                await self.writer.drain()
+                for op in ops:
+                    await self._consume(op)
+            self.writer.write(b"quit\r\n")
+            await self.writer.drain()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            # injected reset: every op still awaiting a response stays
+            # pending — the checker treats its commit as "maybe landed"
+            pass
+        finally:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except Exception:
+                pass
+
+
+async def _final_readback(host: str, port: int, cfg: EpisodeConfig,
+                          recorder: HistoryRecorder) -> None:
+    """Read every key on a fresh connection after the queues drained.
+
+    These reads are real-time after every completed client op, so they
+    pin down which pending (reset) commits actually landed.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        ops = []
+        parts = []
+        for j in range(cfg.key_space):
+            key = b"k%02d" % j
+            parts.append(b"get %s\r\n" % key)
+            ops.append(recorder.invoke(10_000, j, "get", key))
+        writer.write(b"".join(parts))
+        await writer.drain()
+        for op in ops:
+            values = await _read_values(reader)
+            if op.key in values:
+                recorder.complete(op, ("value", values[op.key][0]))
+            else:
+                recorder.complete(op, ("miss",))
+        writer.write(b"quit\r\n")
+        await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# episodes
+
+
+@dataclass
+class EpisodeResult:
+    seed: int
+    ok: bool
+    trace: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    #: fired-fault counts by point (CONN_RESET is keyed by write-frame
+    #: sequence, so its count is seed-deterministic; the timing-keyed
+    #: points need not be — this is debug data, never part of ``trace``)
+    fired: Dict[str, int] = field(default_factory=dict)
+
+
+async def _run_episode(seed: int, cfg: EpisodeConfig) -> EpisodeResult:
+    rates = dict(EPISODE_RATES)
+    if cfg.rates:
+        rates.update(cfg.rates)
+    plan = FaultPlan(seed, rates, max_stall=cfg.max_stall)
+    injector = FaultInjector(plan)
+    machine = Machine()
+    server = MemcachedServer(
+        port=0, machine=machine, shard_count=cfg.shards,
+        batch_limit=cfg.batch_limit, injector=injector)
+    recorder = HistoryRecorder()
+    scripts = [_build_script(seed, cid, cfg) for cid in range(cfg.clients)]
+
+    trace = ["episode seed=%d clients=%d ops=%d pipeline=%d keys=%d "
+             "shards=%d batch_limit=%d"
+             % (seed, cfg.clients, cfg.ops_per_client, cfg.pipeline_depth,
+                cfg.key_space, cfg.shards, cfg.batch_limit)]
+    trace.extend(plan.describe())
+    for cid, script in enumerate(scripts):
+        trace.append("script c%d=%s" % (cid, script_digest(script)))
+
+    failures: List[str] = []
+    await server.start()
+    try:
+        clients = [RecordingClient(cid, "127.0.0.1", server.port,
+                                   script, recorder)
+                   for cid, script in enumerate(scripts)]
+        for client in clients:  # sequential: deterministic accept order
+            await client.connect()
+        await asyncio.wait_for(
+            asyncio.gather(*(client.run() for client in clients)),
+            timeout=EPISODE_TIMEOUT)
+        await asyncio.wait_for(server.router.drain(),
+                               timeout=EPISODE_TIMEOUT)
+        await asyncio.wait_for(_final_readback(
+            "127.0.0.1", server.port, cfg, recorder),
+            timeout=EPISODE_TIMEOUT)
+        for client in clients:
+            failures.extend("protocol error: %s" % err
+                            for err in client.protocol_errors)
+    except asyncio.TimeoutError:
+        failures.append("episode timed out after %.0fs" % EPISODE_TIMEOUT)
+    finally:
+        await server.shutdown()
+
+    report = check_history(recorder.operations())
+    if not report.ok:
+        for verdict in report.violations:
+            failures.append("linearizability violation on key %r: %s"
+                            % (verdict.key, verdict.explanation))
+            failures.extend("  " + line for line in verdict.witness)
+    trace.append("linearizable=%s" % ("yes" if report.ok else "NO"))
+
+    audit = audit_machine(machine, strict=True)
+    failures.extend("audit: " + f for f in audit.failures)
+    trace.append("audits=%s" % ("ok" if audit.ok else "FAILED"))
+
+    if server.metrics.pending_at_shutdown:
+        failures.append("pending commits at shutdown: %d"
+                        % server.metrics.pending_at_shutdown)
+
+    ok = not failures
+    trace.append("result=%s" % ("ok" if ok else "FAILED"))
+    return EpisodeResult(seed=seed, ok=ok, trace=trace, failures=failures,
+                         fired=dict(injector.fired))
+
+
+def episode_seed(seed: int, index: int) -> int:
+    """Seed of episode ``index`` in a run started from ``seed``.
+
+    Episode 0 uses the run seed itself, so a failure printed as
+    ``--episodes 1 --seed S`` replays exactly.
+    """
+    return seed if index == 0 else _derive(seed, "episode/%d" % index)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a whole fuzz run."""
+
+    episodes: List[EpisodeResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(e.ok for e in self.episodes)
+
+    @property
+    def failed_seeds(self) -> List[int]:
+        return [e.seed for e in self.episodes if not e.ok]
+
+    def render(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        for result in self.episodes:
+            if verbose or not result.ok:
+                lines.extend(result.trace)
+                lines.extend("  " + f for f in result.failures)
+            else:
+                lines.append("%s %s" % (result.trace[0],
+                                        result.trace[-1]))
+        lines.append("fuzz episodes=%d ok=%d failed=%d"
+                     % (len(self.episodes),
+                        sum(1 for e in self.episodes if e.ok),
+                        len(self.failed_seeds)))
+        for seed in self.failed_seeds:
+            lines.append("reproduce: repro fuzz --episodes 1 --seed %d"
+                         % seed)
+        return "\n".join(lines)
+
+
+def run_episode(seed: int,
+                cfg: Optional[EpisodeConfig] = None) -> EpisodeResult:
+    """One episode, synchronously (test entry point)."""
+    return asyncio.run(_run_episode(seed, cfg or EpisodeConfig()))
+
+
+def run_fuzz(episodes: int = 10, seed: int = 0,
+             cfg: Optional[EpisodeConfig] = None) -> FuzzReport:
+    """Run ``episodes`` seeded adversarial episodes."""
+    cfg = cfg or EpisodeConfig()
+    report = FuzzReport()
+    for index in range(episodes):
+        report.episodes.append(
+            asyncio.run(_run_episode(episode_seed(seed, index), cfg)))
+    return report

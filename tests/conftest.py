@@ -5,6 +5,10 @@ import pytest
 from repro import Machine, MachineConfig, MemoryConfig
 from repro.params import CacheGeometry
 
+# the testing harness's fixtures (machine_audit, audited_machine,
+# fault_injector, history_recorder, ...)
+pytest_plugins = ["repro.testing.fixtures"]
+
 
 def small_config(line_bytes: int = 16, cache_kb: int = 64) -> MachineConfig:
     """A small machine: fewer buckets, small cache — fast to simulate."""

@@ -93,13 +93,42 @@ class TestFrameDecoder:
         assert frames[0].error is not None
         assert frames[1].command == b"get" and frames[1].args == [b"ok"]
 
-    def test_short_declared_count_error_then_stream_continues(self):
+    def test_short_declared_count_consumes_whole_bad_request(self):
         decoder = FrameDecoder()
         frames = decoder.feed(b"set k 0 0 3\r\nhello\r\n")
-        # the request line is rejected; the orphaned payload line is then
-        # (mis)read as a command — exactly how real memcached resyncs
+        # the malformed request — line AND its data block — is consumed
+        # as one error frame; the payload is never misread as a command
+        assert len(frames) == 1 and frames[0].error is not None
+        assert decoder.pending_bytes == 0
+
+    def test_malformed_then_pipelined_valid_frame_same_read(self):
+        # Satellite regression: a malformed storage frame followed
+        # immediately by a pipelined valid request in the SAME read must
+        # resync onto the valid request, not onto the orphaned payload
+        decoder = FrameDecoder()
+        frames = decoder.feed(b"set k 0 0 4\r\nhello\r\nget a\r\n")
+        assert len(frames) == 2
         assert frames[0].error is not None
-        assert frames[1].command == b"hello"
+        assert frames[1].command == b"get" and frames[1].args == [b"a"]
+        assert decoder.pending_bytes == 0
+
+    def test_malformed_then_valid_split_across_reads(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"set k 0 0 4\r\nhel") == []
+        frames = decoder.feed(b"lo\r\nget a\r\n")
+        assert [f.error is None for f in frames] == [False, True]
+        assert frames[1].command == b"get"
+
+    def test_resync_error_frame_covers_line_and_payload(self):
+        bad = b"set k 0 0 4\r\nhello\r\n"
+        frames = FrameDecoder().feed(bad + b"get a\r\n")
+        assert frames[0].raw == bad
+        assert frames[1].command == b"get"
+
+    def test_resync_bytes_attached_by_parser(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(b"set k 0 0 4\r\nhello\r\nget a\r\n")
+        assert exc.value.resync_bytes == len(b"set k 0 0 4\r\nhello\r\n")
 
     def test_runaway_line_is_dropped(self):
         decoder = FrameDecoder()

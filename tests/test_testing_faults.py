@@ -1,0 +1,144 @@
+"""Tests for the seeded deterministic fault injector."""
+
+import asyncio
+
+import pytest
+
+from repro.testing.faults import (
+    COMMIT_STALL,
+    CONN_RESET,
+    FLUSH_DELAY,
+    POINTS,
+    READ_SPLIT,
+    WRITE_SPLIT,
+    FaultInjector,
+    FaultPlan,
+    InjectedReset,
+)
+
+ALL_ON = {point: 1.0 for point in POINTS}
+ALL_OFF = {point: 0.0 for point in POINTS}
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(42, {READ_SPLIT: 0.5})
+        b = FaultPlan(42, {READ_SPLIT: 0.5})
+        for scope in range(4):
+            for seq in range(50):
+                assert a.fires(READ_SPLIT, scope, seq) \
+                    == b.fires(READ_SPLIT, scope, seq)
+                assert a.amount(READ_SPLIT, scope, seq, 1, 9) \
+                    == b.amount(READ_SPLIT, scope, seq, 1, 9)
+
+    def test_different_seeds_differ_somewhere(self):
+        a = FaultPlan(1, {READ_SPLIT: 0.5})
+        b = FaultPlan(2, {READ_SPLIT: 0.5})
+        decisions_a = [a.fires(READ_SPLIT, 0, seq) for seq in range(200)]
+        decisions_b = [b.fires(READ_SPLIT, 0, seq) for seq in range(200)]
+        assert decisions_a != decisions_b
+
+    def test_decisions_independent_of_query_order(self):
+        # pure function of (seed, point, scope, seq): asking in any
+        # order, or repeatedly, never changes an answer
+        plan = FaultPlan(7, {COMMIT_STALL: 0.5})
+        forward = [plan.fires(COMMIT_STALL, 0, seq) for seq in range(30)]
+        backward = [plan.fires(COMMIT_STALL, 0, seq)
+                    for seq in reversed(range(30))]
+        assert forward == list(reversed(backward))
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(3, ALL_OFF)
+        assert not any(plan.fires(point, 0, seq)
+                       for point in POINTS for seq in range(100))
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(3, ALL_ON)
+        assert all(plan.fires(point, 0, seq)
+                   for point in POINTS for seq in range(100))
+
+    def test_rate_roughly_honored(self):
+        plan = FaultPlan(5, {READ_SPLIT: 0.3})
+        fired = sum(plan.fires(READ_SPLIT, 0, seq) for seq in range(2000))
+        assert 0.2 < fired / 2000 < 0.4
+
+    def test_amount_within_bounds(self):
+        plan = FaultPlan(9)
+        for seq in range(200):
+            amount = plan.amount(FLUSH_DELAY, 0, seq, 2, 6)
+            assert 2 <= amount <= 6
+        assert plan.amount(FLUSH_DELAY, 0, 0, 4, 4) == 4
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0, {"bogus.point": 1.0})
+
+    def test_describe_is_stable(self):
+        a = FaultPlan(11, {CONN_RESET: 0.1}, max_stall=3)
+        b = FaultPlan(11, {CONN_RESET: 0.1}, max_stall=3)
+        assert a.describe() == b.describe()
+        assert a.describe()[0] == "plan seed=11 max_stall=3"
+
+
+class TestFaultInjector:
+    def test_connection_scopes_increment(self, fault_injector):
+        injector = fault_injector()
+        assert [injector.next_connection() for _ in range(3)] == [0, 1, 2]
+
+    def test_read_split_preserves_bytes(self, fault_injector):
+        injector = fault_injector(seed=1, rates={READ_SPLIT: 1.0})
+        data = b"set k 0 0 5\r\nhello\r\n"
+        first = injector.on_read(0, data)
+        rest = injector.held_bytes(0)
+        assert first + rest == data
+        assert 0 < len(first) < len(data)
+        # held bytes are delivered exactly once
+        assert injector.held_bytes(0) == b""
+
+    def test_read_split_off_passes_through(self, fault_injector):
+        injector = fault_injector(seed=1, rates=ALL_OFF)
+        assert injector.on_read(0, b"get k\r\n") == b"get k\r\n"
+        assert injector.held_bytes(0) == b""
+
+    def test_after_dispatch_raises_injected_reset(self, fault_injector):
+        injector = fault_injector(seed=2, rates={CONN_RESET: 1.0})
+        with pytest.raises(InjectedReset):
+            injector.after_dispatch(0, b"set")
+        # an injected reset must be caught by ConnectionResetError
+        # handlers (the server treats it like a real peer reset)
+        assert issubclass(InjectedReset, ConnectionResetError)
+        assert injector.fired[CONN_RESET] == 1
+
+    def test_split_write_reassembles(self, fault_injector):
+        injector = fault_injector(seed=4, rates={WRITE_SPLIT: 1.0})
+        payload = b"VALUE k 0 5\r\nhello\r\nEND\r\n"
+        chunks = injector.split_write(0, payload)
+        assert len(chunks) == 2
+        assert b"".join(chunks) == payload
+
+    def test_async_hooks_fire_and_count(self, fault_injector):
+        injector = fault_injector(seed=6, rates=ALL_ON, max_stall=3)
+
+        async def go():
+            await injector.before_flush(0)
+            await injector.before_commit(1)
+
+        asyncio.run(go())
+        assert injector.fired[FLUSH_DELAY] == 1
+        assert injector.fired[COMMIT_STALL] == 1
+
+    def test_two_injectors_same_plan_agree(self):
+        plan = FaultPlan(8, {CONN_RESET: 0.3})
+        a, b = FaultInjector(plan), FaultInjector(plan)
+
+        def resets(injector):
+            out = []
+            for seq in range(40):
+                try:
+                    injector.after_dispatch(0, b"set")
+                    out.append(False)
+                except InjectedReset:
+                    out.append(True)
+            return out
+
+        assert resets(a) == resets(b)

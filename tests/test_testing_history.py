@@ -1,0 +1,212 @@
+"""Tests for the linearizability checker (memcached sequential spec)."""
+
+from repro.testing.history import (
+    UNMATCHABLE,
+    HistoryRecorder,
+    Operation,
+    check_history,
+)
+
+
+def op(client, seq, kind, key=b"k", value=None, expect=None,
+       invoked=0, completed=0, result=None):
+    """A completed operation with explicit logical timestamps."""
+    return Operation(client=client, seq=seq, kind=kind, key=key,
+                     value=value, expect=expect, invoked=invoked,
+                     completed=completed, result=result)
+
+
+def pending(client, seq, kind, key=b"k", value=None, expect=None,
+            invoked=0):
+    """An operation whose response was never observed (reset)."""
+    return Operation(client=client, seq=seq, kind=kind, key=key,
+                     value=value, expect=expect, invoked=invoked,
+                     completed=None, result=None)
+
+
+class TestSequentialSpec:
+    def test_sequential_set_then_get(self):
+        history = [
+            op(0, 0, "set", value=b"v", invoked=0, completed=1,
+               result=("stored",)),
+            op(0, 1, "get", invoked=2, completed=3, result=("value", b"v")),
+        ]
+        assert check_history(history).ok
+
+    def test_get_before_any_set_must_miss(self):
+        assert check_history(
+            [op(0, 0, "get", invoked=0, completed=1,
+                result=("miss",))]).ok
+        assert not check_history(
+            [op(0, 0, "get", invoked=0, completed=1,
+                result=("value", b"ghost"))]).ok
+
+    def test_initial_state_respected(self):
+        history = [op(0, 0, "get", invoked=0, completed=1,
+                      result=("value", b"seeded"))]
+        assert check_history(history, initial={b"k": b"seeded"}).ok
+
+    def test_delete_semantics(self):
+        history = [
+            op(0, 0, "set", value=b"v", invoked=0, completed=1,
+               result=("stored",)),
+            op(0, 1, "delete", invoked=2, completed=3,
+               result=("deleted",)),
+            op(0, 2, "get", invoked=4, completed=5, result=("miss",)),
+        ]
+        assert check_history(history).ok
+        # a delete of an absent key cannot answer DELETED
+        assert not check_history(
+            [op(0, 0, "delete", invoked=0, completed=1,
+                result=("deleted",))]).ok
+
+
+class TestConcurrency:
+    def test_overlapping_cross_client_reorder_is_legal(self):
+        # the set and the get overlap in real time: the get may
+        # linearize before the set and miss
+        history = [
+            op(0, 0, "set", value=b"v", invoked=0, completed=3,
+               result=("stored",)),
+            op(1, 0, "get", invoked=1, completed=4, result=("miss",)),
+        ]
+        assert check_history(history).ok
+
+    def test_stale_pipelined_read_same_client_is_caught(self):
+        # same intervals, same client: program order makes the get take
+        # effect after the set — a miss is the read-after-write fence
+        # being broken, and the checker must catch it even though plain
+        # real-time linearizability would allow it
+        history = [
+            op(0, 0, "set", value=b"v", invoked=0, completed=3,
+               result=("stored",)),
+            op(0, 1, "get", invoked=1, completed=4, result=("miss",)),
+        ]
+        report = check_history(history)
+        assert not report.ok
+        assert report.violations[0].key == b"k"
+        assert "no linearization" in report.summary()
+
+    def test_two_writers_reader_sees_one_of_them(self):
+        history = [
+            op(0, 0, "set", value=b"a", invoked=0, completed=5,
+               result=("stored",)),
+            op(1, 0, "set", value=b"b", invoked=1, completed=6,
+               result=("stored",)),
+            op(2, 0, "get", invoked=7, completed=8,
+               result=("value", b"a")),
+        ]
+        assert check_history(history).ok
+        history[2] = op(2, 0, "get", invoked=7, completed=8,
+                        result=("value", b"c"))
+        assert not check_history(history).ok
+
+    def test_keys_are_checked_independently(self):
+        history = [
+            op(0, 0, "set", key=b"a", value=b"v", invoked=0, completed=1,
+               result=("stored",)),
+            op(0, 1, "get", key=b"b", invoked=2, completed=3,
+               result=("value", b"ghost")),
+        ]
+        report = check_history(history)
+        assert not report.ok
+        assert [v.key for v in report.violations] == [b"b"]
+
+
+class TestPendingOperations:
+    def test_pending_set_may_have_landed(self):
+        history = [
+            pending(0, 0, "set", value=b"v", invoked=0),
+            op(1, 0, "get", invoked=1, completed=2,
+               result=("value", b"v")),
+        ]
+        assert check_history(history).ok
+
+    def test_pending_set_may_have_been_lost(self):
+        history = [
+            pending(0, 0, "set", value=b"v", invoked=0),
+            op(1, 0, "get", invoked=1, completed=2, result=("miss",)),
+        ]
+        assert check_history(history).ok
+
+    def test_pending_set_cannot_explain_foreign_value(self):
+        history = [
+            pending(0, 0, "set", value=b"v", invoked=0),
+            op(1, 0, "get", invoked=1, completed=2,
+               result=("value", b"other")),
+        ]
+        assert not check_history(history).ok
+
+
+class TestCasSemantics:
+    def test_cas_with_matching_token_stores(self):
+        history = [
+            op(0, 0, "set", value=b"a", invoked=0, completed=1,
+               result=("stored",)),
+            op(0, 1, "gets", invoked=2, completed=3,
+               result=("value", b"a")),
+            op(0, 2, "cas", value=b"b", expect=b"a", invoked=4,
+               completed=5, result=("stored",)),
+            op(0, 3, "get", invoked=6, completed=7,
+               result=("value", b"b")),
+        ]
+        assert check_history(history).ok
+
+    def test_cas_cannot_store_over_changed_value(self):
+        # token taken from value a; value is c when the cas runs, with
+        # no overlap that could excuse a STORED answer
+        history = [
+            op(0, 0, "set", value=b"a", invoked=0, completed=1,
+               result=("stored",)),
+            op(0, 1, "gets", invoked=2, completed=3,
+               result=("value", b"a")),
+            op(0, 2, "set", value=b"c", invoked=4, completed=5,
+               result=("stored",)),
+            op(0, 3, "cas", value=b"b", expect=b"a", invoked=6,
+               completed=7, result=("stored",)),
+        ]
+        assert not check_history(history).ok
+
+    def test_cas_losing_race_answers_exists(self):
+        history = [
+            op(0, 0, "set", value=b"a", invoked=0, completed=1,
+               result=("stored",)),
+            op(0, 1, "gets", invoked=2, completed=3,
+               result=("value", b"a")),
+            op(1, 0, "set", value=b"c", invoked=4, completed=5,
+               result=("stored",)),
+            op(0, 2, "cas", value=b"b", expect=b"a", invoked=6,
+               completed=7, result=("exists",)),
+        ]
+        assert check_history(history).ok
+
+    def test_unmatchable_token_never_stores(self):
+        base = [op(0, 0, "set", value=b"a", invoked=0, completed=1,
+                   result=("stored",))]
+        stored = base + [op(0, 1, "cas", value=b"b", expect=UNMATCHABLE,
+                            invoked=2, completed=3, result=("stored",))]
+        exists = base + [op(0, 1, "cas", value=b"b", expect=UNMATCHABLE,
+                            invoked=2, completed=3, result=("exists",))]
+        assert not check_history(stored).ok
+        assert check_history(exists).ok
+
+    def test_cas_on_absent_key_answers_not_found(self):
+        history = [op(0, 0, "cas", value=b"b", expect=b"a", invoked=0,
+                      completed=1, result=("not_found",))]
+        assert check_history(history).ok
+
+
+class TestRecorder:
+    def test_logical_clock_orders_invocations(self, history_recorder):
+        a = history_recorder.invoke(0, 0, "set", b"k", value=b"v")
+        b = history_recorder.invoke(1, 0, "get", b"k")
+        history_recorder.complete(a, ("stored",))
+        history_recorder.complete(b, ("value", b"v"))
+        ops = history_recorder.operations()
+        assert [o.invoked for o in ops] == [0, 1]
+        assert ops[0].completed == 2 and ops[1].completed == 3
+        assert check_history(ops).ok
+
+    def test_unanswered_op_stays_pending(self, history_recorder):
+        a = history_recorder.invoke(0, 0, "set", b"k", value=b"v")
+        assert a.pending and a.result is None
