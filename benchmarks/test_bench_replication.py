@@ -1,0 +1,120 @@
+"""Replication wire traffic — delta shipping vs naive value shipping.
+
+The replication analogue of the paper's DRAM-traffic tables: a
+content-addressed follower only needs lines it has never seen, so under
+a skewed-overwrite workload (a hot key set rewritten from a small value
+pool) the delta stream ships a fraction of what a naive protocol —
+re-sending every committed key+value — would put on the wire. The bench
+drives that workload through the full stack (memcached front, shard
+router, replication leader, live follower) and compares actual leader
+wire bytes against the naive baseline.
+"""
+
+import asyncio
+import random
+
+from conftest import emit
+
+from repro.net.server import MemcachedServer
+from repro.replication import ReplicationFollower, ReplicationLeader
+from repro.segments import dag
+
+#: per-op framing overhead a naive value-shipping protocol would add
+#: (key length, value length, sequence number — 16 bytes is generous
+#: toward the baseline, i.e. against us)
+NAIVE_OVERHEAD = 16
+
+
+def _workload(rng, ops):
+    """Skewed overwrites: 20% of the keys take 80% of the writes."""
+    keys = [b"bench-key-%03d" % i for i in range(50)]
+    hot = keys[:10]
+    pool = [bytes([33 + (i + j) % 90 for j in range(192)])
+            for i in range(8)]
+    for _ in range(ops):
+        key = rng.choice(hot) if rng.random() < 0.8 else rng.choice(keys)
+        yield key, rng.choice(pool)
+
+
+async def _run(ops):
+    server = MemcachedServer(port=0, shard_count=2)
+    await server.start()
+    leader = ReplicationLeader(server.router, heartbeat_interval=None)
+    await leader.start()
+    follower = ReplicationFollower("127.0.0.1", leader.port,
+                                   reconnect_delay=0.01)
+    await follower.start()
+
+    naive_bytes = 0
+    stored = 0
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+    for key, value in _workload(random.Random(20120301), ops):
+        writer.write(b"set %s 0 0 %d\r\n%s\r\n" % (key, len(value), value))
+        naive_bytes += len(key) + len(value) + NAIVE_OVERHEAD
+        stored += 1
+    await writer.drain()
+    acked = b""
+    while acked.count(b"STORED\r\n") < stored:
+        acked += await reader.read(1 << 16)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    await server.router.drain()
+
+    deadline = asyncio.get_event_loop().time() + 30.0
+    while asyncio.get_event_loop().time() < deadline:
+        want = {s: dag.segment_fingerprint(leader.machine, v)
+                for s, v in leader.streams().items()}
+        if want == follower.fingerprints():
+            break
+        await asyncio.sleep(0.02)
+    else:
+        raise AssertionError("follower never converged")
+
+    await follower.stop()
+    await leader.stop()
+    await server.shutdown()
+    return naive_bytes, leader.metrics, follower.metrics
+
+
+def run_replication_traffic(scale):
+    ops = 300 * scale
+    naive_bytes, leader_metrics, follower_metrics = asyncio.run(_run(ops))
+    delta_bytes = leader_metrics.bytes_sent
+    leader_metrics.logical_bytes = naive_bytes
+    data = {
+        "ops": ops,
+        "naive_bytes": naive_bytes,
+        "delta_wire_bytes": delta_bytes,
+        "line_bytes_shipped": leader_metrics.line_bytes_shipped,
+        "wire_ratio": delta_bytes / naive_bytes,
+        "lines_shipped": leader_metrics.lines_shipped,
+        "root_advances": follower_metrics.root_advances,
+        "forgets": leader_metrics.forgets,
+    }
+    text = "\n".join([
+        "Replication wire traffic (skewed overwrites, 192B values, "
+        "8-value pool)",
+        "  committed sets            %10d" % data["ops"],
+        "  naive value shipping      %10d bytes" % naive_bytes,
+        "  delta wire bytes          %10d bytes" % delta_bytes,
+        "  ...of which line payload  %10d bytes"
+        % data["line_bytes_shipped"],
+        "  wire ratio                %10.3f (delta / naive)"
+        % data["wire_ratio"],
+        "  lines shipped             %10d" % data["lines_shipped"],
+        "  forgets                   %10d" % data["forgets"],
+    ])
+    return text, data
+
+
+def test_replication_delta_traffic(benchmark, report_dir, scale):
+    text, data = benchmark.pedantic(run_replication_traffic, args=(scale,),
+                                    rounds=1, iterations=1)
+    emit(report_dir, "replication_traffic", text)
+    assert data["root_advances"] > 0
+    # the acceptance bar: total delta wire bytes — frames, roots,
+    # forgets, everything — at most half of naive full-value shipping
+    assert data["delta_wire_bytes"] <= 0.5 * data["naive_bytes"], text

@@ -187,13 +187,171 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.testing.fuzz import EpisodeConfig, run_fuzz
+    if args.profile == "replication":
+        from repro.replication.fuzz import (
+            ReplicationEpisodeConfig,
+            run_fuzz,
+        )
 
-    cfg = EpisodeConfig(clients=args.clients, ops_per_client=args.ops,
-                        pipeline_depth=args.pipeline, key_space=args.keys,
-                        shards=args.shards)
-    report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
+        cfg = ReplicationEpisodeConfig(ops=args.ops, key_space=args.keys,
+                                       shards=args.shards)
+        report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
+    else:
+        from repro.testing.fuzz import EpisodeConfig, run_fuzz
+
+        cfg = EpisodeConfig(clients=args.clients, ops_per_client=args.ops,
+                            pipeline_depth=args.pipeline,
+                            key_space=args.keys, shards=args.shards)
+        report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
     print(report.render(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+def _cmd_replicate_leader(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.net.server import MemcachedServer
+    from repro.replication import ReplicationLeader
+
+    async def go() -> None:
+        server = MemcachedServer(
+            host=args.host, port=args.port, shard_count=args.shards,
+            queue_depth=args.queue_depth, batch_limit=args.batch_limit)
+        await server.start()
+        leader = ReplicationLeader(
+            server.router, host=args.repl_host, port=args.repl_port,
+            lag_window=args.lag_window)
+        await leader.start()
+        print("# repro replicate-leader: memcached on %s:%d, "
+              "replication on %s:%d (%d shards, lag window %d)"
+              % (args.host, server.port, args.repl_host, leader.port,
+                 args.shards, args.lag_window), file=sys.stderr)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await leader.stop()
+            await server.shutdown()
+            print("# replication: %s"
+                  % json.dumps(leader.metrics.snapshot(), sort_keys=True),
+                  file=sys.stderr)
+
+    try:
+        asyncio.run(go())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print("repro replicate-leader: %s" % exc, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_replicate_follower(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.core.persistence import load_machine_file, save_machine_file
+    from repro.errors import PersistenceError
+    from repro.replication import FollowerServer, ReplicationFollower
+
+    machine = None
+    streams = None
+    if args.checkpoint:
+        try:
+            machine, extra = load_machine_file(args.checkpoint)
+        except (FileNotFoundError, PersistenceError) as exc:
+            print("repro replicate-follower: cannot load checkpoint: %s"
+                  % exc, file=sys.stderr)
+            return 1
+        streams = {int(s): vsid for s, vsid in
+                   extra.get("replication_streams", {}).items()}
+        print("# warm start from %s (%d streams)"
+              % (args.checkpoint, len(streams)), file=sys.stderr)
+
+    async def go() -> None:
+        follower = ReplicationFollower(
+            args.leader_host, args.leader_port,
+            machine=machine, streams=streams)
+        await follower.start()
+        front = FollowerServer(
+            follower, args.upstream_host, args.upstream_port,
+            host=args.host, port=args.port)
+        await front.start()
+        print("# repro replicate-follower: serving snapshot reads on "
+              "%s:%d, replicating from %s:%d, forwarding writes to %s:%d"
+              % (args.host, front.port, args.leader_host, args.leader_port,
+                 args.upstream_host, args.upstream_port), file=sys.stderr)
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await front.stop()
+            await follower.stop()
+            if args.save_checkpoint:
+                save_machine_file(
+                    follower.machine, args.save_checkpoint,
+                    extra={"replication_streams":
+                           {str(s): vsid
+                            for s, vsid in follower.streams.items()}})
+                print("# checkpoint saved to %s" % args.save_checkpoint,
+                      file=sys.stderr)
+            print("# replication: %s"
+                  % json.dumps(follower.metrics.snapshot(), sort_keys=True),
+                  file=sys.stderr)
+
+    try:
+        asyncio.run(go())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print("repro replicate-follower: %s" % exc, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.core.persistence import load_machine_file, save_machine_file
+    from repro.errors import PersistenceError
+    from repro.testing.auditors import audit_machine
+
+    if args.action == "save":
+        if args.source:
+            try:
+                machine, extra = load_machine_file(args.source)
+            except (FileNotFoundError, PersistenceError) as exc:
+                print("repro checkpoint: cannot load %s: %s"
+                      % (args.source, exc), file=sys.stderr)
+                return 1
+        else:
+            from repro import Machine
+            machine, extra = Machine(), {}
+        save_machine_file(machine, args.path, extra=extra or None)
+        print("saved %s: %d unique lines, %d bytes footprint"
+              % (args.path, machine.footprint_lines(),
+                 machine.footprint_bytes()))
+        return 0
+
+    try:
+        machine, extra = load_machine_file(args.path)
+    except (FileNotFoundError, PersistenceError) as exc:
+        print("repro checkpoint: cannot load %s: %s" % (args.path, exc),
+              file=sys.stderr)
+        return 1
+    report = audit_machine(machine)
+    print("loaded %s: %d unique lines, %d bytes footprint, audit %s"
+          % (args.path, machine.footprint_lines(),
+             machine.footprint_bytes(), "ok" if report.ok else "FAILED"))
+    streams = extra.get("replication_streams")
+    if streams:
+        print("replication streams: %s"
+              % ", ".join("%s->vsid %s" % (s, v)
+                          for s, v in sorted(streams.items())))
+    for failure in report.failures:
+        print("audit: %s" % failure, file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -296,10 +454,63 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the report as JSON")
     p_lg.set_defaults(func=_cmd_loadgen)
 
+    p_rl = sub.add_parser(
+        "replicate-leader",
+        help="memcached server plus a replication leader shipping "
+             "structural deltas to followers")
+    p_rl.add_argument("--host", default="127.0.0.1")
+    p_rl.add_argument("--port", type=int, default=11211,
+                      help="memcached TCP port (0 picks ephemeral)")
+    p_rl.add_argument("--repl-host", default="127.0.0.1")
+    p_rl.add_argument("--repl-port", type=int, default=11311,
+                      help="replication TCP port (0 picks ephemeral)")
+    p_rl.add_argument("--shards", type=int, default=4)
+    p_rl.add_argument("--queue-depth", type=int, default=256)
+    p_rl.add_argument("--batch-limit", type=int, default=16)
+    p_rl.add_argument("--lag-window", type=int, default=256,
+                      help="commits a follower may lag before a forced "
+                           "full resync")
+    p_rl.set_defaults(func=_cmd_replicate_leader)
+
+    p_rf = sub.add_parser(
+        "replicate-follower",
+        help="replica serving local snapshot reads; writes forward "
+             "to the leader")
+    p_rf.add_argument("--leader-host", default="127.0.0.1")
+    p_rf.add_argument("--leader-port", type=int, default=11311,
+                      help="the leader's replication port")
+    p_rf.add_argument("--upstream-host", default="127.0.0.1")
+    p_rf.add_argument("--upstream-port", type=int, default=11211,
+                      help="the leader's memcached port (write forwarding)")
+    p_rf.add_argument("--host", default="127.0.0.1")
+    p_rf.add_argument("--port", type=int, default=11212,
+                      help="local serving port (0 picks ephemeral)")
+    p_rf.add_argument("--checkpoint", default=None,
+                      help="warm-start from a machine image (catches up "
+                           "via deltas instead of a full sync)")
+    p_rf.add_argument("--save-checkpoint", default=None,
+                      help="write a machine image here on shutdown")
+    p_rf.set_defaults(func=_cmd_replicate_follower)
+
+    p_cp = sub.add_parser(
+        "checkpoint",
+        help="save/load machine images (gzip if the path ends in .gz)")
+    p_cp.add_argument("action", choices=("save", "load"))
+    p_cp.add_argument("path", help="image file path")
+    p_cp.add_argument("--source", default=None,
+                      help="save: copy/convert this image instead of "
+                           "writing a fresh empty machine")
+    p_cp.set_defaults(func=_cmd_checkpoint)
+
     p_fz = sub.add_parser(
         "fuzz",
         help="seeded adversarial episodes against a live server "
              "(fault injection + linearizability + invariant audits)")
+    p_fz.add_argument("--profile", choices=("serving", "replication"),
+                      default="serving",
+                      help="serving: faulty clients against one server; "
+                           "replication: a faulty replication link that "
+                           "must converge after healing")
     p_fz.add_argument("--episodes", type=int, default=10,
                       help="number of seeded episodes (default 10)")
     p_fz.add_argument("--seed", type=int, default=0,

@@ -191,6 +191,34 @@ class Machine:
             self.release_iterator(it)
 
     # ------------------------------------------------------------------
+    # replication surface (line export/install for leader/follower)
+
+    def has_line(self, plid: int) -> bool:
+        """True when ``plid`` names a line allocated in this machine."""
+        return self.mem.has_line(plid)
+
+    def export_line(self, plid: int):
+        """A line's content, for shipping to a replica (uncharged read)."""
+        return self.mem.export_line(plid)
+
+    def install_line(self, line) -> "tuple[int, bool]":
+        """Install a line received from a replica; ``(plid, created)``.
+
+        Content lookup makes the install idempotent; the returned
+        reference is counted and owned by the caller. Children must be
+        installed first (the replication wire order guarantees this).
+        """
+        return self.mem.install_line(line)
+
+    def segment_fingerprint(self, vsid: int) -> bytes:
+        """Machine-independent content digest of a mapped segment.
+
+        Equal across machines iff the segments hold equal content —
+        the cross-machine analogue of :meth:`segments_equal`.
+        """
+        return dag.segment_fingerprint(self, vsid)
+
+    # ------------------------------------------------------------------
     # accounting
 
     @property

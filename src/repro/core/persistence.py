@@ -15,10 +15,12 @@ cold.
 
 from __future__ import annotations
 
+import gzip
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.machine import Machine
+from repro.errors import PersistenceError
 from repro.memory import hashing
 from repro.memory.line import Inline, Line, PlidRef, encode_line
 from repro.params import CacheGeometry, MachineConfig, MemoryConfig
@@ -107,63 +109,75 @@ def save_machine(machine: Machine, path: str) -> None:
 
 
 def restore_machine(image: Dict[str, Any]) -> Machine:
-    """Reconstruct a machine from an image document."""
-    if image.get("format") != FORMAT_VERSION:
-        raise ValueError("unsupported image format %r" % image.get("format"))
-    cfg = image["config"]
-    machine = Machine(MachineConfig(
-        memory=MemoryConfig(line_bytes=cfg["line_bytes"],
-                            num_buckets=cfg["num_buckets"],
-                            data_ways=cfg["data_ways"],
-                            overflow_lines=cfg["overflow_lines"],
-                            plid_bytes=cfg["plid_bytes"]),
-        cache=CacheGeometry(size_bytes=cfg["cache_bytes"],
-                            ways=cfg["cache_ways"],
-                            line_bytes=cfg["line_bytes"]),
-        path_compaction=cfg["path_compaction"],
-        data_compaction=cfg["data_compaction"],
-        iterator_registers=cfg["iterator_registers"],
-        n_processors=cfg["n_processors"],
-    ))
-    store = machine.mem.store
-    num_buckets = store.config.num_buckets
+    """Reconstruct a machine from an image document.
 
-    # restore lines at their exact PLIDs, rebuilding the bucket indexes
-    for plid_str, words in image["lines"].items():
-        plid = int(plid_str)
-        line: Line = tuple(_word_from_json(w) for w in words)
-        enc = encode_line(line)
-        bucket_idx = (int(image["overflow_bucket"].get(plid_str,
-                                                       plid % num_buckets))
-                      if plid >= store._overflow_base
-                      else plid % num_buckets)
-        bucket = store._buckets.get(bucket_idx)
-        if bucket is None:
-            from repro.memory.dedup_store import _Bucket
-            bucket = _Bucket(signatures=[0] * (store.config.data_ways + 1))
-            store._buckets[bucket_idx] = bucket
-        if plid >= store._overflow_base:
-            bucket.overflow.append(plid)
-            store._overflow_bucket[plid] = bucket_idx
-        else:
-            way = plid // num_buckets
-            bucket.signatures[way] = hashing.signature(enc)
-        bucket.by_encoding[enc] = plid
-        store._lines[plid] = line
-        store._refcounts[plid] = image["refcounts"][plid_str]
-    store._next_overflow = image["next_overflow"]
-    store._free_overflow = list(image["free_overflow"])
+    Raises :class:`PersistenceError` for images written by an unknown
+    ``FORMAT_VERSION`` or missing required fields — a versioned refusal
+    beats silently misreading a future layout.
+    """
+    if not isinstance(image, dict) or "format" not in image:
+        raise PersistenceError("not a machine image (no format field)")
+    if image["format"] != FORMAT_VERSION:
+        raise PersistenceError(
+            "unsupported image format %r (this build reads version %d)"
+            % (image["format"], FORMAT_VERSION))
+    try:
+        cfg = image["config"]
+        machine = Machine(MachineConfig(
+            memory=MemoryConfig(line_bytes=cfg["line_bytes"],
+                                num_buckets=cfg["num_buckets"],
+                                data_ways=cfg["data_ways"],
+                                overflow_lines=cfg["overflow_lines"],
+                                plid_bytes=cfg["plid_bytes"]),
+            cache=CacheGeometry(size_bytes=cfg["cache_bytes"],
+                                ways=cfg["cache_ways"],
+                                line_bytes=cfg["line_bytes"]),
+            path_compaction=cfg["path_compaction"],
+            data_compaction=cfg["data_compaction"],
+            iterator_registers=cfg["iterator_registers"],
+            n_processors=cfg["n_processors"],
+        ))
+        store = machine.mem.store
+        num_buckets = store.config.num_buckets
 
-    # restore the segment map
-    for vsid_str, rec in image["segmap"].items():
-        machine.segmap._entries[int(vsid_str)] = MapEntry(
-            root=_entry_from_json(rec["root"]),
-            height=rec["height"],
-            length=rec["length"],
-            flags=SegmentFlags(rec["flags"]),
-            version=rec["version"],
-        )
-    machine.segmap._next_vsid = image["next_vsid"]
+        # restore lines at their exact PLIDs, rebuilding the bucket indexes
+        for plid_str, words in image["lines"].items():
+            plid = int(plid_str)
+            line: Line = tuple(_word_from_json(w) for w in words)
+            enc = encode_line(line)
+            bucket_idx = (int(image["overflow_bucket"].get(plid_str,
+                                                           plid % num_buckets))
+                          if plid >= store._overflow_base
+                          else plid % num_buckets)
+            bucket = store._buckets.get(bucket_idx)
+            if bucket is None:
+                from repro.memory.dedup_store import _Bucket
+                bucket = _Bucket(signatures=[0] * (store.config.data_ways + 1))
+                store._buckets[bucket_idx] = bucket
+            if plid >= store._overflow_base:
+                bucket.overflow.append(plid)
+                store._overflow_bucket[plid] = bucket_idx
+            else:
+                way = plid // num_buckets
+                bucket.signatures[way] = hashing.signature(enc)
+            bucket.by_encoding[enc] = plid
+            store._lines[plid] = line
+            store._refcounts[plid] = image["refcounts"][plid_str]
+        store._next_overflow = image["next_overflow"]
+        store._free_overflow = list(image["free_overflow"])
+
+        # restore the segment map
+        for vsid_str, rec in image["segmap"].items():
+            machine.segmap._entries[int(vsid_str)] = MapEntry(
+                root=_entry_from_json(rec["root"]),
+                height=rec["height"],
+                length=rec["length"],
+                flags=SegmentFlags(rec["flags"]),
+                version=rec["version"],
+            )
+        machine.segmap._next_vsid = image["next_vsid"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError("malformed machine image: %s" % exc) from exc
     return machine
 
 
@@ -171,3 +185,51 @@ def load_machine(path: str) -> Machine:
     """Read a machine image from ``path``."""
     with open(path) as f:
         return restore_machine(json.load(f))
+
+
+# ----------------------------------------------------------------------
+# file images with metadata (operator checkpoints, follower warm start)
+
+def save_machine_file(machine: Machine, path: str,
+                      extra: Optional[Dict[str, Any]] = None) -> None:
+    """Write a machine image to ``path``, gzipped when it ends in ``.gz``.
+
+    ``extra`` rides along in the document under ``"extra"`` — the
+    replication CLI stores its stream table (shard → VSID) there so a
+    follower warm-started from a checkpoint knows which segments the
+    image's VSIDs correspond to.
+    """
+    image = machine_image(machine)
+    if extra is not None:
+        image["extra"] = extra
+    data = json.dumps(image).encode()
+    if path.endswith(".gz"):
+        with gzip.open(path, "wb") as f:
+            f.write(data)
+    else:
+        with open(path, "wb") as f:
+            f.write(data)
+
+
+def load_machine_file(path: str) -> Tuple[Machine, Dict[str, Any]]:
+    """Read an image written by :func:`save_machine_file`.
+
+    Returns ``(machine, extra)``; ``extra`` is ``{}`` when the image
+    carries no metadata. Transparently handles gzip by the ``.gz``
+    suffix and raises :class:`PersistenceError` on undecodable files.
+    """
+    try:
+        if path.endswith(".gz"):
+            with gzip.open(path, "rb") as f:
+                data = f.read()
+        else:
+            with open(path, "rb") as f:
+                data = f.read()
+        image = json.loads(data)
+    except FileNotFoundError:
+        raise
+    except (OSError, ValueError) as exc:
+        raise PersistenceError("cannot read machine image %s: %s"
+                               % (path, exc)) from exc
+    machine = restore_machine(image)
+    return machine, image.get("extra", {})

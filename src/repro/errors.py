@@ -47,3 +47,14 @@ class IntegrityError(HicampError):
     """A line read from DRAM fails the content-hash check (section 3.1:
     recomputing the hash of the contents and comparing it to the hash
     bucket the line was read from detects corruption beyond ECC)."""
+
+
+class PersistenceError(HicampError):
+    """A machine image cannot be read: unknown format version, truncated
+    document, or a field that does not reconstruct."""
+
+
+class ReplicationError(HicampError):
+    """The replication protocol was violated: a frame references a line
+    the receiver does not hold, a handshake disagrees on geometry, or a
+    wire frame cannot be decoded."""

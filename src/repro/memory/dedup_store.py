@@ -230,6 +230,33 @@ class DedupStore:
         except KeyError:
             raise BadPlidError("read of unallocated PLID %d" % plid)
 
+    def export_line(self, plid: int) -> Line:
+        """A line's content for shipping to another machine.
+
+        The replication sender walks a segment DAG and exports each line
+        once; like :meth:`peek` this charges no DRAM traffic (a real
+        controller would stream lines over a side channel, and the wire
+        accounting lives in the replication layer's own metrics).
+        """
+        return self.peek(plid)
+
+    def install_line(self, line: Line) -> Tuple[int, bool]:
+        """Install a line received from another machine.
+
+        Exactly :meth:`lookup` — lookup-by-content is what makes
+        replication installs idempotent: a re-sent or already-present
+        line dedups to the existing PLID (``created=False``) instead of
+        occupying new DRAM. The returned reference is counted and owned
+        by the caller. Any tagged child PLIDs in ``line`` must already
+        be allocated in *this* store (the wire protocol's
+        children-before-parents order guarantees it).
+        """
+        for child in line_child_plids(line):
+            if child != ZERO_PLID and child not in self._lines:
+                raise BadPlidError(
+                    "install references unallocated child PLID %d" % child)
+        return self.lookup(line)
+
     def lookup(self, line: Line) -> Tuple[int, bool]:
         """Find-or-allocate ``line`` by content.
 

@@ -80,6 +80,25 @@ class MemorySystem:
         return self._zero
 
     # ------------------------------------------------------------------
+    # replication surface
+
+    def has_line(self, plid: int) -> bool:
+        """True when ``plid`` names an allocated line (known-PLID test)."""
+        return self.store.is_allocated(plid)
+
+    def export_line(self, plid: int) -> Line:
+        """A line's content for shipping to another machine (uncharged)."""
+        return self.store.export_line(plid)
+
+    def install_line(self, line: Line) -> "tuple[int, bool]":
+        """Install a received line by content; returns ``(plid, created)``.
+
+        Idempotent: already-present content dedups to its existing PLID.
+        The returned reference is counted and owned by the caller.
+        """
+        return self.store.install_line(line)
+
+    # ------------------------------------------------------------------
 
     def footprint_lines(self) -> int:
         """Unique allocated lines in DRAM."""

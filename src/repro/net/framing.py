@@ -20,8 +20,9 @@ alive — exactly what real memcached does.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.apps.memcached.protocol import (
     CRLF,
@@ -101,3 +102,57 @@ class FrameDecoder:
                                 command=command, args=args, payload=payload))
             del self._buf[:consumed]
         return frames
+
+
+class FrameTooLargeError(Exception):
+    """A length-prefixed frame declared a payload above the cap."""
+
+
+class LengthPrefixedDecoder:
+    """Incremental splitter for binary length-prefixed frames.
+
+    The memcached-text :class:`FrameDecoder` above finds boundaries by
+    parsing; binary protocols (the replication wire format) instead
+    declare them: every frame is ``!BI`` — a one-byte frame type and a
+    four-byte payload length — followed by the payload. This decoder is
+    the generic reassembly half, shared so any future binary protocol
+    gets the same split-read handling the fault injector exercises.
+
+    ``max_payload`` bounds memory on a hostile or corrupted stream; an
+    oversized declaration raises :class:`FrameTooLargeError` (a framing
+    desynchronization is unrecoverable, unlike a malformed text request,
+    so the connection must be dropped).
+    """
+
+    HEADER = struct.Struct("!BI")
+
+    def __init__(self, max_payload: int = 1 << 24) -> None:
+        self.max_payload = max_payload
+        self._buf = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered while waiting for the rest of a frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        """Absorb ``data``; return completed ``(frame_type, payload)``."""
+        self._buf += data
+        frames: List[Tuple[int, bytes]] = []
+        while len(self._buf) >= self.HEADER.size:
+            ftype, length = self.HEADER.unpack_from(self._buf)
+            if length > self.max_payload:
+                raise FrameTooLargeError(
+                    "frame type %d declares %d payload bytes (cap %d)"
+                    % (ftype, length, self.max_payload))
+            end = self.HEADER.size + length
+            if len(self._buf) < end:
+                break
+            frames.append((ftype, bytes(self._buf[self.HEADER.size:end])))
+            del self._buf[:end]
+        return frames
+
+
+def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
+    """One length-prefixed frame as wire bytes (inverse of the decoder)."""
+    return LengthPrefixedDecoder.HEADER.pack(ftype, len(payload)) + payload

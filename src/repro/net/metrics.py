@@ -61,6 +61,11 @@ class ServerMetrics:
     queue_high_watermark: int = 0
     pending_at_shutdown: int = 0
 
+    #: committed root advances per VSID — replication lag is measured in
+    #: these units (commits the leader applied that a follower has not
+    #: yet acknowledged)
+    commits_by_vsid: Counter = field(default_factory=Counter)
+
     _started: float = -1.0
     _latencies: Deque[float] = field(default_factory=deque)
 
@@ -94,6 +99,10 @@ class ServerMetrics:
 
     def observe_queue_depth(self, depth: int) -> None:
         self.queue_high_watermark = max(self.queue_high_watermark, depth)
+
+    def observe_commit(self, vsid: int) -> None:
+        """Account one committed root advance of segment ``vsid``."""
+        self.commits_by_vsid[vsid] += 1
 
     # ------------------------------------------------------------------
 
@@ -130,6 +139,8 @@ class ServerMetrics:
             "cas_retries": self.cas_retries,
             "queue_high_watermark": self.queue_high_watermark,
             "pending_at_shutdown": self.pending_at_shutdown,
+            "commits_by_vsid": {str(v): n
+                                for v, n in self.commits_by_vsid.items()},
             "latency": latency_summary(self.latency_ms()),
         }
         if extra:
@@ -141,6 +152,7 @@ class ServerMetrics:
         snap = self.snapshot()
         latency = snap.pop("latency")
         snap.pop("ops_by_command")
+        snap.pop("commits_by_vsid")
         snap.update(latency)
         return [b"STAT %s %s\r\n" % (name.encode(), str(value).encode())
                 for name, value in sorted(snap.items())]

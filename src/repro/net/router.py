@@ -97,6 +97,12 @@ class ShardRouter:
                                   for s in self.servers)
         self.queues: List["asyncio.Queue"] = []
         self._workers: List["asyncio.Task"] = []
+        #: callbacks fired as ``listener(shard, vsid, commits)`` after a
+        #: shard worker applies a batch containing writes — ``commits``
+        #: root advances of the shard backend's current segment ``vsid``.
+        #: The replication leader tails committed state through this hook
+        #: (synchronous, must not block: mark-dirty-and-wake only).
+        self.commit_listeners: List[Callable[[int, int, int], None]] = []
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -275,6 +281,7 @@ class ShardRouter:
 
     async def _apply_batch(self, shard: int, batch) -> None:
         self.metrics.commit_batches += 1
+        writes = sum(1 for frame, _ in batch if frame.command != FENCE)
         pending = list(batch)
         while pending:
             run, keys = [], set()
@@ -299,6 +306,13 @@ class ShardRouter:
                     await asyncio.sleep(0)
                 else:
                     self._apply_one(shard, frame, future)
+        if writes:
+            kvp = getattr(self.servers[shard], "kvp", None)
+            vsid = kvp.vsid if kvp is not None else shard
+            for _ in range(writes):
+                self.metrics.observe_commit(vsid)
+            for listener in self.commit_listeners:
+                listener(shard, vsid, writes)
 
     def _commit_merged_sets(self, shard: int, run) -> None:
         """Stage distinct-key sets against one snapshot, commit each.

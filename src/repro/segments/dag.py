@@ -31,6 +31,7 @@ that *consumes* entries consumes the caller's references on them.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import SegmentRangeError
@@ -453,6 +454,117 @@ def write_words_bulk(mem: MemorySystem, entry: Entry, level: int,
 
 # ----------------------------------------------------------------------
 # inspection
+
+def walk_lines(store, entry: Entry,
+               skip: Optional[set] = None) -> Iterator[Tuple[int, Line]]:
+    """Yield ``(plid, line)`` for every line reachable from ``entry``,
+    children strictly before parents, each line exactly once.
+
+    The traversal order is a pure function of the DAG content (children
+    visited in word order, duplicates suppressed), so two machines
+    holding the same canonical segment walk it in the same sequence —
+    the replication layer relies on this both for delta shipping (a
+    receiver installing lines in walk order always holds every child a
+    line references) and for pairing PLID spaces across machines.
+
+    ``skip`` names subtree roots to prune: a PLID in ``skip`` is neither
+    yielded nor descended into (the delta engine passes the set of lines
+    the receiver is known to hold — knowledge of a line implies
+    knowledge of its whole subtree). Reads go through the store's
+    ``peek``, charging no DRAM traffic.
+    """
+    if skip is None:
+        skip = set()
+    if not isinstance(entry, PlidRef) or entry.plid in skip:
+        return
+    seen = set()
+    # iterative postorder: (plid, children_expanded) frames
+    stack: List[List] = [[entry.plid, False]]
+    while stack:
+        frame = stack[-1]
+        plid, expanded = frame
+        if plid == ZERO_PLID or plid in seen or plid in skip:
+            stack.pop()
+            continue
+        line = store.peek(plid)
+        if expanded:
+            stack.pop()
+            seen.add(plid)
+            yield plid, line
+            continue
+        frame[1] = True
+        # push children in reverse word order so they pop in word order
+        children = [w.plid for w in line if isinstance(w, PlidRef)]
+        for child in reversed(children):
+            if child != ZERO_PLID and child not in seen and child not in skip:
+                stack.append([child, False])
+
+
+def reachable_plids(store, entries: Iterable[Entry]) -> set:
+    """The set of PLIDs reachable from the given root entries."""
+    out = set()
+    for entry in entries:
+        for plid, _ in walk_lines(store, entry, skip=out):
+            out.add(plid)
+    return out
+
+
+def content_fingerprint(store, entry: Entry,
+                        memo: Optional[Dict[int, bytes]] = None) -> bytes:
+    """Machine-independent digest of a subtree: equal iff the canonical
+    structures are equal, regardless of how PLIDs were assigned.
+
+    Within one machine, content uniqueness makes root comparison O(1);
+    across machines PLID numbering differs, so replication compares
+    roots by this digest instead — each PLID reference is replaced by
+    its target's fingerprint, bottom-up. ``memo`` (plid → digest) makes
+    repeated fingerprinting of overlapping DAGs linear overall.
+    """
+    if memo is None:
+        memo = {}
+
+    def word_material(word) -> bytes:
+        if isinstance(word, PlidRef):
+            return b"P" + line_digest(word.plid) + bytes(word.path)
+        return encode_word(word)
+
+    def line_digest(plid: int) -> bytes:
+        if plid == ZERO_PLID:
+            return b"\x00" * 16
+        cached = memo.get(plid)
+        if cached is not None:
+            return cached
+        # resolve children first, iteratively (DAGs can be deep)
+        for child, _ in walk_lines(store, PlidRef(plid),
+                                   skip=set(memo)):
+            material = b"".join(word_material(w)
+                                for w in store.peek(child))
+            memo[child] = hashlib.blake2b(material,
+                                          digest_size=16).digest()
+        return memo[plid]
+
+    if entry == 0:
+        return hashlib.blake2b(b"Z", digest_size=16).digest()
+    material = word_material(entry)
+    return hashlib.blake2b(material, digest_size=16).digest()
+
+
+def segment_fingerprint(machine, vsid: int) -> bytes:
+    """Digest of a whole mapped segment: root content + height + length.
+
+    Two machines hold the same version of a replicated segment exactly
+    when these digests match (the cross-machine analogue of the paper's
+    O(1) root compare).
+    """
+    entry = machine.segmap.entry(vsid)
+    root = content_fingerprint(machine.mem.store, entry.root)
+    # sparse segments (HMap slots) have lengths past 2**64 — encode the
+    # length as minimal big-endian bytes rather than a fixed field
+    length = entry.length.to_bytes(max(1, (entry.length.bit_length() + 7)
+                                       // 8), "big")
+    material = root + bytes((entry.height,)) + length
+    return hashlib.blake2b(material, digest_size=16).digest()
+
 
 def count_unique_lines(mem: MemorySystem, entries: Iterable[Entry]) -> int:
     """Number of distinct lines reachable from the given root entries.

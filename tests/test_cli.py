@@ -76,3 +76,51 @@ class TestJsonMetrics:
         import json
         metrics = json.loads((tmp_path / "metrics.json").read_text())
         assert metrics["section511"]["total_dag_levels"] > 0
+
+
+class TestCheckpointCommand:
+    def test_save_then_load_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "machine.json.gz")
+        assert main(["checkpoint", "save", path]) == 0
+        assert "saved %s" % path in capsys.readouterr().out
+        assert main(["checkpoint", "load", path]) == 0
+        out = capsys.readouterr().out
+        assert "audit ok" in out
+
+    def test_save_copies_a_source_checkpoint(self, tmp_path, capsys):
+        from repro import Machine
+        from repro.core.persistence import save_machine_file
+        src = str(tmp_path / "src.json")
+        dst = str(tmp_path / "dst.json.gz")
+        machine = Machine()
+        machine.create_segment(list(range(64)))
+        save_machine_file(machine, src,
+                          extra={"replication_streams": {"0": 1}})
+        assert main(["checkpoint", "save", dst, "--source", src]) == 0
+        capsys.readouterr()
+        assert main(["checkpoint", "load", dst]) == 0
+        out = capsys.readouterr().out
+        assert "audit ok" in out and "replication streams" in out
+
+    def test_load_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["checkpoint", "load",
+                     str(tmp_path / "absent.json")]) == 1
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestFuzzProfiles:
+    def test_parser_accepts_both_profiles(self):
+        parser = build_parser()
+        assert parser.parse_args(["fuzz"]).profile == "serving"
+        args = parser.parse_args(["fuzz", "--profile", "replication"])
+        assert args.profile == "replication"
+
+    def test_parser_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--profile", "bogus"])
+
+    def test_replication_profile_runs_an_episode(self, capsys):
+        assert main(["fuzz", "--profile", "replication", "--episodes", "1",
+                     "--seed", "0", "--ops", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "replication fuzz episodes=1 ok=1 failed=0" in out

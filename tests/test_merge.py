@@ -119,3 +119,45 @@ class TestSegmentMerge:
         for e in (b, m, t, root):
             dag.release_entry(mem, e)
         assert mem.footprint_lines() == 0
+
+
+class TestMixedHeightMerge:
+    """merge_roots across trees of different heights (replication
+    followers promote short snapshots against grown leader roots)."""
+
+    def test_theirs_grows_the_segment(self, mem):
+        base = [1, 2]
+        mine = [5, 2]
+        theirs = [1, 2] + [0] * 30 + [9]
+        out = merged_words(mem, base, mine, theirs)
+        assert out[0] == 5 and out[32] == 9
+
+    def test_both_sides_grow_to_different_heights(self, mem):
+        base = [1, 2]
+        mine = [1, 2] + [0] * 14 + [7]            # one extra level
+        theirs = [1, 2] + [0] * 300 + [8]         # several extra levels
+        out = merged_words(mem, base, mine, theirs)
+        assert out[16] == 7 and out[302] == 8
+        assert out[0] == 1 and out[1] == 2
+
+    def test_counter_semantics_survive_height_promotion(self, mem):
+        base = [10, 2]
+        mine = [13, 2] + [0] * 30 + [9]  # +3 on word 0, and grew
+        theirs = [14, 2]                 # +4 on word 0
+        out = merged_words(mem, base, mine, theirs)
+        assert out[0] == 17 and out[32] == 9
+
+    def test_mixed_height_merge_releases_cleanly(self, mem):
+        base = list(range(1, 9))
+        mine = list(base) + [0] * 120 + [4]
+        theirs = list(base); theirs[0] += 2
+        b, bh = dag.build_segment(mem, base)
+        m, mh = dag.build_segment(mem, mine)
+        t, th = dag.build_segment(mem, theirs)
+        assert mh > bh == th
+        root, h = merge_roots(mem, (b, bh), (m, mh), (t, th))
+        assert h == mh
+        for e in (b, m, t, root):
+            dag.release_entry(mem, e)
+        assert mem.footprint_lines() == 0
+        mem.store.check_refcounts()

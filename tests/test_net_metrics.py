@@ -103,3 +103,47 @@ class TestServerTimesThroughMetrics:
         assert out.startswith(b"STORED\r\n")
         assert metrics.ops_total >= 2
         assert metrics.latency_ms() == [0.0] * metrics.ops_total
+
+
+class TestPerSegmentCommitCounters:
+    def test_observe_commit_accumulates_by_vsid(self):
+        metrics = ServerMetrics(clock=FakeClock())
+        for vsid in (3, 3, 7):
+            metrics.observe_commit(vsid)
+        assert metrics.commits_by_vsid == {3: 2, 7: 1}
+        snap = metrics.snapshot()
+        # JSON-safe: keys are strings in the snapshot
+        assert snap["commits_by_vsid"] == {"3": 2, "7": 1}
+        # the human `stats` listing stays flat — the per-segment map is
+        # only in the structured snapshot
+        assert not any(b"commits_by_vsid" in line
+                       for line in metrics.stats_lines())
+
+    def test_router_attributes_commits_to_the_shard_segment(self):
+        async def go():
+            metrics = ServerMetrics(clock=FakeClock())
+            router = ShardRouter(shard_count=2, metrics=metrics)
+            server = MemcachedServer(port=0, router=router)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            for i in range(8):
+                writer.write(b"set key-%d 0 0 2\r\nhi\r\n" % i)
+            await writer.drain()
+            out = b""
+            while out.count(b"STORED\r\n") < 8:
+                out += await reader.read(1 << 16)
+            await router.drain()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            await server.shutdown()
+            return metrics, router
+
+        metrics, router = asyncio.run(go())
+        assert sum(metrics.commits_by_vsid.values()) == 8
+        # every counted vsid is a real shard segment
+        shard_vsids = {s.kvp.vsid for s in router.servers}
+        assert set(metrics.commits_by_vsid) <= shard_vsids

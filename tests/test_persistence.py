@@ -1,13 +1,19 @@
 """Tests for machine checkpoint/restore."""
 
+import gzip
+import json
+
 import pytest
 
 from repro.core.persistence import (
     load_machine,
+    load_machine_file,
     machine_image,
     restore_machine,
     save_machine,
+    save_machine_file,
 )
+from repro.errors import PersistenceError
 from repro.structures import HMap
 from tests.conftest import small_config
 from repro import Machine
@@ -89,8 +95,45 @@ class TestRoundtrip:
         restored.create_segment([7])  # allocator still sane
 
     def test_bad_format_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PersistenceError, match="format 999"):
             restore_machine({"format": 999})
+
+    def test_missing_format_rejected(self):
+        with pytest.raises(PersistenceError):
+            restore_machine({"lines": {}})
+
+    def test_malformed_image_rejected(self):
+        with pytest.raises(PersistenceError, match="malformed"):
+            restore_machine({"format": 1, "config": {}})
+
+    def test_save_machine_file_plain_and_gzip(self, populated, tmp_path):
+        machine, a, *_ = populated
+        for name in ("image.json", "image.json.gz"):
+            path = str(tmp_path / name)
+            save_machine_file(machine, path)
+            restored, extra = load_machine_file(path)
+            assert restored.read_segment(a) == [1, 2, 3]
+            assert extra == {}
+        # the .gz file really is gzip-compressed JSON
+        with gzip.open(str(tmp_path / "image.json.gz"), "rb") as f:
+            assert json.loads(f.read())["format"] == 1
+
+    def test_save_machine_file_extra_metadata(self, populated, tmp_path):
+        machine, *_ = populated
+        path = str(tmp_path / "image.json")
+        save_machine_file(machine, path,
+                          extra={"replication_streams": {"0": 1}})
+        _, extra = load_machine_file(path)
+        assert extra == {"replication_streams": {"0": 1}}
+
+    def test_load_machine_file_garbage_rejected(self, tmp_path):
+        bad = tmp_path / "bad.gz"
+        bad.write_bytes(b"this is not gzip")
+        with pytest.raises(PersistenceError):
+            load_machine_file(str(bad))
+        missing = str(tmp_path / "missing.json")
+        with pytest.raises(FileNotFoundError):
+            load_machine_file(missing)
 
     def test_overflow_lines_roundtrip(self, tmp_path):
         from repro import MachineConfig, MemoryConfig
