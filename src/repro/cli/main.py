@@ -355,6 +355,57 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import socket
+
+    request = (b"stats json\r\n" if args.format == "json"
+               else b"stats prom\r\n")
+    try:
+        with socket.create_connection((args.host, args.port),
+                                      timeout=args.timeout) as sock:
+            sock.sendall(request)
+            chunks = []
+            while True:
+                data = sock.recv(1 << 16)
+                if not data:
+                    break
+                chunks.append(data)
+                if b"".join(chunks[-2:]).find(b"END\r\n") >= 0:
+                    break
+    except OSError as exc:
+        print("repro metrics: cannot reach %s:%d: %s"
+              % (args.host, args.port, exc), file=sys.stderr)
+        return 1
+    payload = b"".join(chunks)
+    end = payload.rfind(b"END\r\n")
+    if end >= 0:
+        payload = payload[:end]
+    sys.stdout.write(payload.decode(errors="replace"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.trace import load_jsonl, render_spans, to_chrome_trace
+
+    try:
+        spans = load_jsonl(args.file)
+    except (FileNotFoundError, ValueError) as exc:
+        print("repro trace: cannot load %s: %s" % (args.file, exc),
+              file=sys.stderr)
+        return 1
+    if args.chrome:
+        pathlib.Path(args.chrome).write_text(
+            json.dumps(to_chrome_trace(spans)) + "\n")
+        print("wrote %d events to %s (load in chrome://tracing or "
+              "https://ui.perfetto.dev)" % (len(spans), args.chrome),
+              file=sys.stderr)
+        return 0
+    print(render_spans(spans, limit=args.limit))
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from repro import Machine
     from repro.structures import HMap, HString
@@ -528,6 +579,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_fz.add_argument("--verbose", action="store_true",
                       help="print the full trace of passing episodes too")
     p_fz.set_defaults(func=_cmd_fuzz)
+
+    p_mx = sub.add_parser(
+        "metrics",
+        help="scrape a running server's metrics registry "
+             "(Prometheus text exposition or the legacy JSON snapshot)")
+    p_mx.add_argument("--host", default="127.0.0.1")
+    p_mx.add_argument("--port", type=int, default=11211)
+    p_mx.add_argument("--format", choices=("prom", "json"),
+                      default="prom",
+                      help="prom: `stats prom` exposition (default); "
+                           "json: the legacy `stats json` snapshot")
+    p_mx.add_argument("--timeout", type=float, default=5.0)
+    p_mx.set_defaults(func=_cmd_metrics)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="inspect a recorded span trace (JSONL) or convert it to "
+             "Chrome trace_event format")
+    p_tr.add_argument("file", help="JSONL trace file (TraceRecorder."
+                                   "write_jsonl output)")
+    p_tr.add_argument("--chrome", default=None,
+                      help="write Chrome trace_event JSON here instead "
+                           "of printing the span tree")
+    p_tr.add_argument("--limit", type=int, default=0,
+                      help="print at most N spans (0 = all)")
+    p_tr.set_defaults(func=_cmd_trace)
 
     p_demo = sub.add_parser("demo", help="one-minute architecture tour")
     p_demo.set_defaults(func=_cmd_demo)

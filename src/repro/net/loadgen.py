@@ -25,7 +25,7 @@ import asyncio
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Callable, Dict, List, Set, Tuple
 
 from repro.net.metrics import latency_summary
 
@@ -124,9 +124,13 @@ class LoadgenClient:
 
     def __init__(self, cid: int, host: str, port: int, ops: int,
                  pipeline_depth: int, get_ratio: float, key_space: int,
-                 value_bytes: int, seed: int) -> None:
+                 value_bytes: int, seed: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.cid = cid
         self.host, self.port = host, port
+        #: injectable time source (same discipline as ServerMetrics.clock)
+        #: so RTT measurements are deterministic under a testing clock
+        self.clock = clock
         self.ops = ops
         self.pipeline_depth = max(1, pipeline_depth)
         self.get_ratio = get_ratio
@@ -194,13 +198,13 @@ class LoadgenClient:
                 batch = self._plan_batch(min(self.pipeline_depth,
                                              self.ops - issued))
                 request = self._encode(batch)
-                started = time.monotonic()
+                started = self.clock()
                 writer.write(request)
                 await writer.drain()
                 for kind, key, extra in batch:
                     await self._consume(reader, kind, key, extra)
                 report.batch_rtts_ms.append(
-                    (time.monotonic() - started) * 1000.0)
+                    (self.clock() - started) * 1000.0)
                 issued += len(batch)
                 report.ops += len(batch)
             await self._verify_private(reader, writer)
@@ -269,7 +273,9 @@ class LoadgenClient:
 async def run_loadgen(host: str, port: int, clients: int = 4,
                       ops_per_client: int = 100, pipeline_depth: int = 8,
                       get_ratio: float = 0.5, key_space: int = 16,
-                      value_bytes: int = 32, seed: int = 0) -> LoadgenReport:
+                      value_bytes: int = 32, seed: int = 0,
+                      clock: Callable[[], float] = time.monotonic
+                      ) -> LoadgenReport:
     """Drive ``clients`` concurrent pipelined connections; verify results."""
     # seed the shared keyspace so gets/cas have something to race on
     reader, writer = await asyncio.open_connection(host, port)
@@ -280,11 +286,12 @@ async def run_loadgen(host: str, port: int, clients: int = 4,
         await read_line_response(reader)
 
     fleet = [LoadgenClient(cid, host, port, ops_per_client, pipeline_depth,
-                           get_ratio, key_space, value_bytes, seed)
+                           get_ratio, key_space, value_bytes, seed,
+                           clock=clock)
              for cid in range(clients)]
-    started = time.monotonic()
+    started = clock()
     reports = await asyncio.gather(*(client.run() for client in fleet))
-    wall = time.monotonic() - started
+    wall = clock() - started
 
     total = LoadgenReport(clients=clients, wall_seconds=wall)
     committed: Dict[bytes, Set[bytes]] = {}

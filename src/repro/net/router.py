@@ -39,6 +39,9 @@ from repro.apps.memcached.server import HicampMemcached
 from repro.core.machine import Machine
 from repro.net.framing import Frame
 from repro.net.metrics import ServerMetrics
+from repro.obs import adapters
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_RECORDER, DramProbe
 
 #: Commands that mutate the cache and therefore go through a commit queue.
 WRITE_COMMANDS = frozenset((b"set", b"add", b"replace", b"cas", b"delete",
@@ -77,7 +80,9 @@ class ShardRouter:
                  queue_depth: int = 256,
                  batch_limit: int = 16,
                  metrics: Optional[ServerMetrics] = None,
-                 injector=None) -> None:
+                 injector=None,
+                 recorder=None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if shard_count < 1:
             raise ValueError("need at least one shard")
         #: optional :class:`repro.testing.faults.FaultInjector`; its
@@ -91,6 +96,17 @@ class ShardRouter:
         self.queue_depth = queue_depth
         self.batch_limit = max(1, batch_limit)
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        #: trace recorder (:mod:`repro.obs.trace`); the no-op default
+        #: keeps every span site zero-cost (guarded on ``enabled``)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: the unified metrics registry: the server silo, the machine's
+        #: DRAM counters and the router's cache-wide state all read
+        #: through it (``stats prom`` serves its exposition in-band)
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        adapters.register_server_metrics(self.registry, self.metrics)
+        adapters.register_dram_stats(self.registry, self.machine.mem.dram)
+        adapters.register_router(self.registry, self)
         # batched merge-commits stage through HMap.put_steps, which only
         # matches plain backends (a TTL backend rewrites the payload)
         self._merge_batches = all(type(s) is HicampMemcached
@@ -144,21 +160,23 @@ class ShardRouter:
         """Owning shard for ``key`` (stable across the server's life)."""
         return zlib.crc32(key) % len(self.servers)
 
-    async def dispatch(self, frame: Frame,
-                       conn: ConnectionState) -> Awaitable[bytes]:
+    async def dispatch(self, frame: Frame, conn: ConnectionState,
+                       parent: Optional[int] = None) -> Awaitable[bytes]:
         """Route one frame; returns an awaitable yielding the response.
 
         Writes are *enqueued* before this returns (waiting for queue
         space is the backpressure), but their response awaitable resolves
         only when the shard worker commits them — so a connection can
         keep dispatching pipelined requests while commits are in flight.
+        ``parent`` is the request's trace span id (propagated into the
+        commit-queue batch span when tracing is enabled).
         """
         if frame.error is not None:
             self.metrics.protocol_errors += 1
             return _completed(b"CLIENT_ERROR %s\r\n" % frame.error.encode())
         command = frame.command
         if command in WRITE_COMMANDS and frame.key is not None:
-            return await self._enqueue_write(frame, conn)
+            return await self._enqueue_write(frame, conn, parent)
         if command in READ_COMMANDS and len(frame.args) > 1:
             return await self._multi_get(frame, conn)
         if command in READ_COMMANDS and frame.key is not None:
@@ -171,17 +189,18 @@ class ShardRouter:
         if command == b"stats":
             return await self._stats_after_writes(frame, conn)
         if command == b"flush_all":
-            return await self._broadcast(frame, conn)
+            return await self._broadcast(frame, conn, parent)
         # version, unknown commands, malformed writes: any handler can
         # answer these without touching shard state
         return _completed(self.handlers[0].handle(frame.raw))
 
-    async def _enqueue_write(self, frame: Frame,
-                             conn: ConnectionState) -> "asyncio.Future[bytes]":
+    async def _enqueue_write(self, frame: Frame, conn: ConnectionState,
+                             parent: Optional[int] = None
+                             ) -> "asyncio.Future[bytes]":
         shard = self.shard_index(frame.key)
         future: "asyncio.Future[bytes]" = \
             asyncio.get_running_loop().create_future()
-        await self.queues[shard].put((frame, future))
+        await self.queues[shard].put((frame, future, parent))
         self.metrics.observe_queue_depth(self.queues[shard].qsize())
         conn.last_write[shard] = future
         return future
@@ -189,7 +208,8 @@ class ShardRouter:
     async def _enqueue_fence(self, shard: int) -> "asyncio.Future[bytes]":
         future: "asyncio.Future[bytes]" = \
             asyncio.get_running_loop().create_future()
-        await self.queues[shard].put((Frame(raw=b"", command=FENCE), future))
+        await self.queues[shard].put(
+            (Frame(raw=b"", command=FENCE), future, None))
         return future
 
     async def _read_after(self, deps, shard: int, frame: Frame) -> bytes:
@@ -241,13 +261,13 @@ class ShardRouter:
 
         return asyncio.ensure_future(fetch())
 
-    async def _broadcast(self, frame: Frame,
-                         conn: ConnectionState) -> Awaitable[bytes]:
+    async def _broadcast(self, frame: Frame, conn: ConnectionState,
+                         parent: Optional[int] = None) -> Awaitable[bytes]:
         futures = []
         for shard in range(len(self.servers)):
             future: "asyncio.Future[bytes]" = \
                 asyncio.get_running_loop().create_future()
-            await self.queues[shard].put((frame, future))
+            await self.queues[shard].put((frame, future, parent))
             conn.last_write[shard] = future
             futures.append(future)
 
@@ -281,12 +301,24 @@ class ShardRouter:
 
     async def _apply_batch(self, shard: int, batch) -> None:
         self.metrics.commit_batches += 1
-        writes = sum(1 for frame, _ in batch if frame.command != FENCE)
+        writes = sum(1 for frame, _, _ in batch if frame.command != FENCE)
+        recorder = self.recorder
+        batch_span = None
+        dram_probe = None
+        if recorder.enabled:
+            # the batch span links back to every request span whose
+            # write it commits, and carries the DRAM-access delta the
+            # whole batch caused (Figure 6 categories, attributed)
+            batch_span = recorder.begin(
+                "commit_batch", shard=shard, ops=len(batch), writes=writes,
+                requests=[p for _, _, p in batch if p is not None])
+            dram_probe = DramProbe(self.machine.mem.dram)
+            dram_probe.__enter__()
         pending = list(batch)
         while pending:
             run, keys = [], set()
             while pending and self._merge_batches:
-                frame, _ = pending[0]
+                frame, _, _ = pending[0]
                 if (frame.command == b"set" and frame.payload is not None
                         and frame.key not in keys):
                     keys.add(frame.key)
@@ -294,11 +326,11 @@ class ShardRouter:
                 else:
                     break
             if len(run) > 1:
-                self._commit_merged_sets(shard, run)
+                self._commit_merged_sets(shard, run, batch_span)
             elif run:
-                self._apply_one(shard, *run[0])
+                self._apply_one(shard, run[0][0], run[0][1])
             else:
-                frame, future = pending.pop(0)
+                frame, future, _ = pending.pop(0)
                 if frame.command == FENCE:
                     _resolve(future, b"")
                     # let the fenced reader run before any write that was
@@ -313,8 +345,14 @@ class ShardRouter:
                 self.metrics.observe_commit(vsid)
             for listener in self.commit_listeners:
                 listener(shard, vsid, writes)
+            if batch_span is not None:
+                recorder.attach(batch_span, vsid=vsid)
+        if batch_span is not None:
+            dram_probe.__exit__(None, None, None)
+            recorder.end(batch_span, **dram_probe.attrs())
 
-    def _commit_merged_sets(self, shard: int, run) -> None:
+    def _commit_merged_sets(self, shard: int, run,
+                            batch_span: Optional[int] = None) -> None:
         """Stage distinct-key sets against one snapshot, commit each.
 
         Every commit after the first finds the root moved, loses its CAS
@@ -324,8 +362,13 @@ class ShardRouter:
         server = self.servers[shard]
         segmap = self.machine.segmap
         failures_before = segmap.cas_failures
+        recorder = self.recorder
+        merge_span = None
+        if recorder.enabled:
+            merge_span = recorder.begin("merge_update", parent=batch_span,
+                                        shard=shard, staged=len(run))
         staged = []
-        for frame, future in run:
+        for frame, future, _ in run:
             try:
                 gen = server.kvp.put_steps(frame.key, frame.payload)
                 next(gen)  # stage into the update window
@@ -346,7 +389,10 @@ class ShardRouter:
             server.stats.sets += 1
             self.metrics.cas_retries += retries
             _resolve(future, b"STORED\r\n")
-        self.metrics.merge_commits += segmap.cas_failures - failures_before
+        merged = segmap.cas_failures - failures_before
+        self.metrics.merge_commits += merged
+        if merge_span is not None:
+            recorder.end(merge_span, merge_commits=merged)
 
     def _apply_one(self, shard: int, frame: Frame, future) -> None:
         try:
@@ -380,10 +426,13 @@ class ShardRouter:
         })
 
     def stats_response(self, args: List[bytes]) -> bytes:
-        """The ``stats`` command: STAT lines, or one JSON document."""
+        """The ``stats`` command: STAT lines, one JSON document, or
+        (``stats prom``) the registry's Prometheus text exposition."""
         if args and args[0] == b"json":
             body = json.dumps(self.snapshot(), sort_keys=True).encode()
             return body + CRLF + b"END\r\n"
+        if args and args[0] == b"prom":
+            return self.registry.exposition().encode() + b"END\r\n"
         lines = [b"STAT %s %s\r\n" % (name.encode(), str(value).encode())
                  for name, value in sorted(
                      self.aggregate_server_stats().items())]

@@ -53,6 +53,7 @@ class MemcachedServer:
                  read_timeout: Optional[float] = None,
                  max_inflight: int = 64,
                  injector=None,
+                 recorder=None,
                  **router_kwargs) -> None:
         self.host = host
         self.port = port
@@ -65,10 +66,14 @@ class MemcachedServer:
         self.injector = injector
         self.router = router if router is not None else ShardRouter(
             machine=machine, shard_count=shard_count, injector=injector,
-            **router_kwargs)
+            recorder=recorder, **router_kwargs)
         if router is not None and injector is not None \
                 and router.injector is None:
             router.injector = injector
+        #: trace recorder shared with the router (no-op by default);
+        #: request spans open at dispatch and close when the response
+        #: is flushed, parenting the commit-batch spans downstream
+        self.recorder = self.router.recorder
         self.metrics: ServerMetrics = self.router.metrics
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set = set()
@@ -127,11 +132,13 @@ class MemcachedServer:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
         self.metrics.connections_opened += 1
+        conn_id = self.metrics.connections_opened
+        recorder = self.recorder
         injector = self.injector
         scope = injector.next_connection() if injector is not None else -1
         decoder = FrameDecoder()
         conn = ConnectionState()
-        inflight = []  # (dispatch time, command, awaitable), FIFO
+        inflight = []  # (dispatch time, command, awaitable, span), FIFO
         try:
             while not self._closing:
                 data = b""
@@ -156,9 +163,17 @@ class MemcachedServer:
                         break
                     if len(inflight) >= self.max_inflight:
                         await self._flush(inflight, writer, scope)
-                    response = await self.router.dispatch(frame, conn)
+                    span = None
+                    if recorder.enabled:
+                        span = recorder.begin(
+                            "request", conn=conn_id,
+                            command=frame.command.decode("ascii",
+                                                         "replace"))
+                    response = await self.router.dispatch(frame, conn,
+                                                          span)
                     inflight.append(
-                        (self.metrics.now(), frame.command, response))
+                        (self.metrics.now(), frame.command, response,
+                         span))
                     if injector is not None \
                             and frame.command in WRITE_COMMANDS:
                         # may raise InjectedReset: the commit is already
@@ -193,10 +208,12 @@ class MemcachedServer:
         if injector is not None and inflight:
             await injector.before_flush(scope)
         while inflight:
-            started, command, awaitable = inflight.pop(0)
+            started, command, awaitable, span = inflight.pop(0)
             response = await awaitable
             self.metrics.observe_request(
                 command, self.metrics.now() - started, len(response))
+            if span is not None:
+                self.recorder.end(span, response_bytes=len(response))
             if injector is not None:
                 for chunk in injector.split_write(scope, response):
                     writer.write(chunk)

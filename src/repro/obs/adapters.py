@@ -1,0 +1,175 @@
+"""Registry adapters for the three pre-existing metrics silos.
+
+:class:`~repro.net.metrics.ServerMetrics`,
+:class:`~repro.replication.metrics.ReplicationMetrics` and
+:class:`~repro.memory.stats.DramStats` predate the registry and are hot
+enough that their layout (plain dataclass fields bumped inline) must not
+change. Each adapter therefore registers *callback-backed* instruments
+that read the live silo at collection time — the silo is the single
+source of truth, the registry is a view, and the legacy ``stats`` /
+``stats json`` output stays byte-identical.
+
+Each adapter has an inverse (``legacy_*_snapshot``) that rebuilds the
+silo's own snapshot dict purely from registry reads; the test suite
+asserts the round trip is exact, so a silo field added without its
+registry registration fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.reporting import latency_summary
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "register_server_metrics",
+    "register_replication_metrics",
+    "register_dram_stats",
+    "register_router",
+    "legacy_server_snapshot",
+    "legacy_replication_snapshot",
+    "legacy_dram_dict",
+]
+
+# ServerMetrics scalar fields, split by Prometheus kind. Keep in sync
+# with ServerMetrics.snapshot(); legacy_server_snapshot() reconstructs
+# that snapshot from these lists, and tests assert the round trip.
+SERVER_COUNTER_FIELDS = (
+    "ops_total", "bytes_in", "bytes_out",
+    "connections_opened", "connections_closed", "read_timeouts",
+    "frames_decoded", "pipelined_requests",
+    "protocol_errors", "server_errors",
+    "commit_batches", "merge_commits", "cas_retries",
+)
+SERVER_GAUGE_FIELDS = (
+    "max_pipeline_depth", "queue_high_watermark", "pending_at_shutdown",
+)
+
+REPLICATION_COUNTER_FIELDS = (
+    "bytes_sent", "bytes_received", "line_bytes_shipped", "logical_bytes",
+    "lines_shipped", "lines_deduped_on_arrival", "lines_installed",
+    "seed_lines", "root_advances", "acks", "full_syncs", "resets",
+    "forgets", "nacks", "heartbeats", "reconnects",
+    "commits_observed", "commits_shipped",
+)
+
+SERVER_PREFIX = "repro_server_"
+REPLICATION_PREFIX = "repro_replication_"
+DRAM_METRIC = "repro_dram_accesses_total"
+
+
+def _field_reader(obj, name):
+    return lambda: getattr(obj, name)
+
+
+def register_server_metrics(registry: MetricsRegistry, metrics,
+                            prefix: str = SERVER_PREFIX) -> None:
+    """Expose a live :class:`ServerMetrics` through ``registry``."""
+    for name in SERVER_COUNTER_FIELDS:
+        registry.counter(prefix + name, "server %s" % name,
+                         fn=_field_reader(metrics, name))
+    for name in SERVER_GAUGE_FIELDS:
+        registry.gauge(prefix + name, "server %s" % name,
+                       fn=_field_reader(metrics, name))
+    registry.gauge(prefix + "uptime_seconds", "seconds since start",
+                   fn=lambda: round(metrics.uptime_seconds, 3))
+    registry.gauge(prefix + "ops_per_second", "request throughput",
+                   fn=lambda: round(metrics.ops_per_second, 1))
+    registry.counter(prefix + "ops_by_command", "requests by command",
+                     labels=("command",),
+                     fn=lambda: dict(metrics.ops_by_command))
+    registry.counter(prefix + "commits_by_vsid",
+                     "committed root advances by segment",
+                     labels=("vsid",),
+                     fn=lambda: {str(v): n for v, n
+                                 in metrics.commits_by_vsid.items()})
+    registry.gauge(prefix + "latency_ms",
+                   "request latency quantiles (reservoir)",
+                   labels=("quantile",),
+                   fn=lambda: latency_summary(metrics.latency_ms()))
+
+
+def legacy_server_snapshot(registry: MetricsRegistry,
+                           prefix: str = SERVER_PREFIX) -> Dict:
+    """Rebuild ``ServerMetrics.snapshot()`` from registry reads."""
+    snap: Dict = {}
+    for name in SERVER_COUNTER_FIELDS + SERVER_GAUGE_FIELDS + (
+            "uptime_seconds", "ops_per_second"):
+        snap[name] = registry.get(prefix + name).snapshot_value()
+    snap["ops_by_command"] = dict(
+        registry.get(prefix + "ops_by_command").snapshot_value())
+    snap["commits_by_vsid"] = dict(
+        registry.get(prefix + "commits_by_vsid").snapshot_value())
+    snap["latency"] = dict(
+        registry.get(prefix + "latency_ms").snapshot_value())
+    return snap
+
+
+def register_replication_metrics(registry: MetricsRegistry, metrics,
+                                 prefix: str = REPLICATION_PREFIX
+                                 ) -> None:
+    """Expose a live :class:`ReplicationMetrics` through ``registry``."""
+    for name in REPLICATION_COUNTER_FIELDS:
+        registry.counter(prefix + name, "replication %s" % name,
+                         fn=_field_reader(metrics, name))
+    registry.gauge(prefix + "max_lag",
+                   "worst per-stream replication lag, in commits",
+                   fn=lambda: metrics.max_lag)
+    registry.gauge(prefix + "dedup_ratio",
+                   "fraction of arriving lines already present",
+                   fn=lambda: metrics.dedup_ratio)
+    registry.gauge(prefix + "lag_by_stream",
+                   "replication lag per stream, in commits",
+                   labels=("stream",),
+                   fn=lambda: {str(s): lag for s, lag
+                               in metrics.lag_by_stream.items()})
+
+
+def legacy_replication_snapshot(registry: MetricsRegistry,
+                                prefix: str = REPLICATION_PREFIX
+                                ) -> Dict:
+    """Rebuild ``ReplicationMetrics.snapshot()`` from registry reads."""
+    snap: Dict = {}
+    for name in REPLICATION_COUNTER_FIELDS:
+        snap[name] = registry.get(prefix + name).snapshot_value()
+    snap["max_lag"] = registry.get(prefix + "max_lag").snapshot_value()
+    snap["lag_by_stream"] = dict(
+        registry.get(prefix + "lag_by_stream").snapshot_value())
+    return snap
+
+
+def register_dram_stats(registry: MetricsRegistry, dram,
+                        name: str = DRAM_METRIC) -> None:
+    """Expose a live :class:`DramStats` as one labeled counter —
+    Figure 6's categories, straight off the store."""
+    registry.counter(name, "off-chip DRAM accesses by category",
+                     labels=("category",), fn=dram.as_dict)
+
+
+def legacy_dram_dict(registry: MetricsRegistry,
+                     name: str = DRAM_METRIC) -> Dict[str, int]:
+    """Rebuild ``DramStats.as_dict()`` from the registry."""
+    return dict(registry.get(name).snapshot_value())
+
+
+def register_router(registry: MetricsRegistry, router) -> None:
+    """Cache-wide state a :class:`ShardRouter` adds on top of its
+    :class:`ServerMetrics` (the extra keys of ``stats json``)."""
+    registry.gauge("repro_server_shards", "shard backends",
+                   fn=lambda: len(router.servers))
+    registry.gauge("repro_server_pending_commits",
+                   "writes enqueued but not yet applied",
+                   fn=router.pending_commits)
+    registry.gauge("repro_machine_footprint_bytes",
+                   "bytes of DRAM consumed by unique lines",
+                   fn=router.machine.footprint_bytes)
+    registry.counter("repro_cache_ops_total",
+                     "backend operations by kind, summed across shards",
+                     labels=("op",),
+                     fn=lambda: {k: v for k, v
+                                 in router.aggregate_server_stats().items()
+                                 if k != "curr_items"})
+    registry.gauge("repro_cache_curr_items", "items across all shards",
+                   fn=lambda:
+                   router.aggregate_server_stats()["curr_items"])

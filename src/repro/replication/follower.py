@@ -41,6 +41,7 @@ from repro.errors import ReplicationError
 from repro.memory.line import PlidRef
 from repro.net.framing import FrameDecoder
 from repro.net.router import WRITE_COMMANDS
+from repro.obs.trace import NULL_RECORDER
 from repro.replication import wire
 from repro.replication.delta import translate_line
 from repro.replication.metrics import ReplicationMetrics
@@ -56,10 +57,15 @@ class ReplicationFollower:
                  machine: Optional[Machine] = None,
                  streams: Optional[Dict[int, int]] = None,
                  metrics: Optional[ReplicationMetrics] = None,
-                 reconnect_delay: float = 0.05) -> None:
+                 reconnect_delay: float = 0.05,
+                 recorder=None) -> None:
         self.host = host
         self.port = port
         self.machine = machine if machine is not None else Machine()
+        #: trace recorder (no-op default); root advances record spans
+        #: with the DRAM traffic their installs caused on this machine
+        self.recorder = recorder if recorder is not None \
+            else NULL_RECORDER
         #: stream index → local VSID (warm-started from a checkpoint, or
         #: created empty when the WELCOME announces a new stream)
         self.streams: Dict[int, int] = dict(streams or {})
@@ -255,8 +261,20 @@ class ReplicationFollower:
         self.metrics.seed_lines += len(local_plids)
 
     def _handle_advance(self, writer, payload: bytes) -> None:
+        recorder = self.recorder
+        if recorder.enabled:
+            with recorder.span("advance_apply",
+                               dram=self.machine.mem.dram) as span:
+                self._apply_advance(writer, payload, span)
+        else:
+            self._apply_advance(writer, payload, None)
+
+    def _apply_advance(self, writer, payload: bytes,
+                       span: Optional[int]) -> None:
         stream, seq, leader_vsid, height, length, root = \
             wire.decode_advance_payload(payload)
+        if span is not None:
+            self.recorder.attach(span, stream=stream, seq=seq)
         if stream not in self.streams:
             self.streams[stream] = self.machine.create_segment([])
         self.leader_vsids[stream] = leader_vsid
@@ -342,15 +360,30 @@ class FollowerReadBackend:
         return b"repro-hicamp-follower/1.0"
 
     def extra_stats(self) -> dict:
+        """Every replication counter, over the wire via ``stats``.
+
+        The full :meth:`ReplicationMetrics.snapshot` is exposed under a
+        ``replication_`` prefix (the per-stream lag map flattened to one
+        key per stream), so follower lag and dedup ratio are visible to
+        any memcached client. The original four summary keys and
+        ``footprint_bytes`` keep their exact names.
+        """
         snap = self.follower.metrics.snapshot()
-        return {
-            "replication_lines_installed": snap["lines_installed"],
+        lag_by_stream = snap.pop("lag_by_stream")
+        out = {
             "replication_dedup_on_arrival":
                 snap["lines_deduped_on_arrival"],
-            "replication_root_advances": snap["root_advances"],
-            "replication_resets": snap["resets"],
+            "replication_dedup_ratio":
+                round(self.follower.metrics.dedup_ratio, 6),
             "footprint_bytes": self.follower.machine.footprint_bytes(),
         }
+        for name, value in snap.items():
+            out["replication_" + name] = value
+        for stream, lag in lag_by_stream.items():
+            out["replication_lag_stream_%s" % stream] = lag
+        for stream, seq in sorted(self.follower.applied_seq.items()):
+            out["replication_applied_seq_stream_%d" % stream] = seq
+        return out
 
 
 class FollowerServer:

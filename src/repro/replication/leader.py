@@ -93,7 +93,8 @@ class ReplicationLeader:
                  lag_window: int = 256,
                  heartbeat_interval: Optional[float] = 1.0,
                  metrics: Optional[ReplicationMetrics] = None,
-                 injector=None) -> None:
+                 injector=None,
+                 recorder=None) -> None:
         self.router = router
         self.machine = router.machine
         self.host = host
@@ -102,6 +103,15 @@ class ReplicationLeader:
         self.heartbeat_interval = heartbeat_interval
         self.metrics = metrics if metrics is not None \
             else ReplicationMetrics()
+        #: trace recorder; defaults to the router's, so one trace holds
+        #: request → commit batch → replication ship/advance spans
+        self.recorder = recorder if recorder is not None \
+            else router.recorder
+        # the leader's wire accounting joins the router's registry, so
+        # one exposition covers serving and replication together
+        if "repro_replication_bytes_sent" not in router.registry:
+            from repro.obs.adapters import register_replication_metrics
+            register_replication_metrics(router.registry, self.metrics)
         #: optional :class:`repro.testing.faults.FaultInjector` applied
         #: to the replication link itself (split reads/writes, injected
         #: resets) — the faulty-link fuzz profile drives this.
@@ -288,12 +298,17 @@ class ReplicationLeader:
     def _ship_delta(self, session: FollowerSession, stream: int,
                     vsid: int) -> None:
         """Frame FORGETs, the delta's lines, and the root advance."""
+        recorder = self.recorder
+        span = None
+        if recorder.enabled:
+            span = recorder.begin("ship_delta", stream=stream, vsid=vsid)
         self._flush_forgets(session)
         store = self.machine.mem.store
         entry = self.machine.segmap.entry(vsid)
         # retained across compute-and-frame: a racing commit cannot
         # deallocate anything this delta references
         dag.retain_entry(self.machine.mem, entry.root)
+        lines = wire_bytes = 0
         try:
             delta = compute_delta(store, stream, vsid, entry.root,
                                   entry.height, entry.length, session.known)
@@ -303,18 +318,33 @@ class ReplicationLeader:
                 session.known.add(plid)
                 self.metrics.lines_shipped += 1
                 self.metrics.line_bytes_shipped += len(payload)
+                lines += 1
+                wire_bytes += len(payload)
             seq = self.commit_seq.get(stream, 0)
-            self._ship_advance(session, stream, vsid, entry, seq)
+            self._ship_advance(session, stream, vsid, entry, seq, span)
         finally:
             dag.release_entry(self.machine.mem, entry.root)
+            if span is not None:
+                recorder.end(span, lines=lines, wire_bytes=wire_bytes)
 
     def _ship_advance(self, session: FollowerSession, stream: int,
-                      vsid: int, entry, seq: int) -> None:
+                      vsid: int, entry, seq: int,
+                      parent: Optional[int] = None) -> None:
+        recorder = self.recorder
+        span = None
+        if recorder.enabled:
+            # correlate with commit_batch spans via (vsid, seq): the
+            # batch span records the vsid it advanced, the leader
+            # numbers those commits per stream
+            span = recorder.begin("root_advance", parent=parent,
+                                  stream=stream, seq=seq, vsid=vsid)
         self._send(session, wire.ROOT_ADVANCE, wire.encode_advance_payload(
             stream, seq, vsid, entry.root, entry.height, entry.length))
         session.shipped_seq[stream] = seq
         self.metrics.root_advances += 1
         self.metrics.commits_shipped = max(self.metrics.commits_shipped, seq)
+        if span is not None:
+            recorder.end(span)
 
     def _flush_forgets(self, session: FollowerSession) -> None:
         forgets, session.forgets = session.forgets, []

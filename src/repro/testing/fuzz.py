@@ -292,7 +292,8 @@ class EpisodeResult:
     fired: Dict[str, int] = field(default_factory=dict)
 
 
-async def _run_episode(seed: int, cfg: EpisodeConfig) -> EpisodeResult:
+async def _run_episode(seed: int, cfg: EpisodeConfig,
+                       trace_recorder=None) -> EpisodeResult:
     rates = dict(EPISODE_RATES)
     if cfg.rates:
         rates.update(cfg.rates)
@@ -301,7 +302,8 @@ async def _run_episode(seed: int, cfg: EpisodeConfig) -> EpisodeResult:
     machine = Machine()
     server = MemcachedServer(
         port=0, machine=machine, shard_count=cfg.shards,
-        batch_limit=cfg.batch_limit, injector=injector)
+        batch_limit=cfg.batch_limit, injector=injector,
+        recorder=trace_recorder)
     recorder = HistoryRecorder()
     scripts = [_build_script(seed, cid, cfg) for cid in range(cfg.clients)]
 
@@ -401,10 +403,17 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def run_episode(seed: int,
-                cfg: Optional[EpisodeConfig] = None) -> EpisodeResult:
-    """One episode, synchronously (test entry point)."""
-    return asyncio.run(_run_episode(seed, cfg or EpisodeConfig()))
+def run_episode(seed: int, cfg: Optional[EpisodeConfig] = None,
+                trace_recorder=None) -> EpisodeResult:
+    """One episode, synchronously (test entry point).
+
+    ``trace_recorder`` — an optional :class:`repro.obs.TraceRecorder`
+    threaded into the server, so a whole fault-injected episode can be
+    captured as spans. With a :class:`repro.obs.StepClock` and a single
+    client the trace is a pure function of the seed.
+    """
+    return asyncio.run(_run_episode(seed, cfg or EpisodeConfig(),
+                                    trace_recorder=trace_recorder))
 
 
 def run_fuzz(episodes: int = 10, seed: int = 0,

@@ -108,6 +108,100 @@ class TestCheckpointCommand:
         assert "cannot load" in capsys.readouterr().err
 
 
+class TestMetricsCommand:
+    def _server(self):
+        import asyncio
+        import threading
+
+        from repro.net.server import MemcachedServer
+
+        started = threading.Event()
+        box = {}
+
+        def run():
+            async def go():
+                server = MemcachedServer(port=0, shard_count=1)
+                await server.start()
+                box["port"] = server.port
+                box["stop"] = asyncio.Event()
+                box["loop"] = asyncio.get_running_loop()
+                started.set()
+                await box["stop"].wait()
+                await server.shutdown()
+
+            asyncio.run(go())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        started.wait(5)
+        return box, thread
+
+    def test_scrapes_prometheus_exposition(self, capsys):
+        from repro.obs.registry import parse_exposition, sample
+
+        box, thread = self._server()
+        try:
+            assert main(["metrics", "--port", str(box["port"])]) == 0
+            out = capsys.readouterr().out
+            parsed = parse_exposition(out)
+            assert sample(parsed, "repro_server_shards") == 1
+            assert ("repro_dram_accesses_total",
+                    (("category", "lookups"),)) in parsed
+        finally:
+            box["loop"].call_soon_threadsafe(box["stop"].set)
+            thread.join(5)
+
+    def test_json_format(self, capsys):
+        import json
+
+        box, thread = self._server()
+        try:
+            assert main(["metrics", "--port", str(box["port"]),
+                         "--format", "json"]) == 0
+            snap = json.loads(capsys.readouterr().out)
+            assert snap["shards"] == 1
+        finally:
+            box["loop"].call_soon_threadsafe(box["stop"].set)
+            thread.join(5)
+
+    def test_unreachable_server_fails_cleanly(self, capsys):
+        # a port from the ephemeral range with nothing listening
+        assert main(["metrics", "--port", "1", "--timeout", "0.5"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def _trace_file(self, tmp_path):
+        from repro.obs.trace import StepClock, TraceRecorder
+
+        rec = TraceRecorder(clock=StepClock())
+        a = rec.begin("request", conn=1, command="set")
+        b = rec.begin("commit_batch", parent=a, shard=0)
+        rec.end(b)
+        rec.end(a)
+        path = tmp_path / "trace.jsonl"
+        rec.write_jsonl(path)
+        return str(path)
+
+    def test_renders_span_tree(self, tmp_path, capsys):
+        assert main(["trace", self._trace_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "request" in out and "commit_batch" in out
+
+    def test_chrome_export(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "chrome.json"
+        assert main(["trace", self._trace_file(tmp_path),
+                     "--chrome", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert len(doc["traceEvents"]) == 2
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot load" in capsys.readouterr().err
+
+
 class TestFuzzProfiles:
     def test_parser_accepts_both_profiles(self):
         parser = build_parser()

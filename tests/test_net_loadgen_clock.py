@@ -1,0 +1,50 @@
+"""Loadgen clock injection: RTT measurement without wall time."""
+
+import asyncio
+
+from repro.net.loadgen import LoadgenClient, run_loadgen
+from repro.net.server import MemcachedServer
+from repro.obs.trace import StepClock
+
+
+def test_loadgen_client_uses_injected_clock():
+    async def scenario():
+        async with MemcachedServer(port=0, shard_count=1) as server:
+            client = LoadgenClient(
+                0, "127.0.0.1", server.port, ops=8, pipeline_depth=4,
+                get_ratio=0.5, key_space=4, value_bytes=16, seed=2,
+                clock=StepClock(step=0.25))
+            return await client.run()
+
+    report = asyncio.run(scenario())
+    assert report.consistent
+    # two batches of four ops, each RTT exactly one 250ms step (a
+    # binary-exact step keeps the arithmetic bit-for-bit)
+    assert report.batch_rtts_ms == [250.0, 250.0]
+
+
+def test_run_loadgen_wall_seconds_from_injected_clock():
+    async def scenario():
+        async with MemcachedServer(port=0, shard_count=1) as server:
+            return await run_loadgen(
+                "127.0.0.1", server.port, clients=2, ops_per_client=8,
+                pipeline_depth=4, seed=3, clock=StepClock(step=0.5))
+
+    report = asyncio.run(scenario())
+    assert report.consistent
+    # the fleet clock ticks once at start and once at the end; each
+    # client RTT reading advances it twice more -> deterministic wall
+    ticks = 2 + 2 * len(report.batch_rtts_ms)
+    assert report.wall_seconds == 0.5 * (ticks - 1)
+    assert report.ops_per_second == report.ops / report.wall_seconds
+
+
+def test_default_clock_still_measures_real_time():
+    async def scenario():
+        async with MemcachedServer(port=0, shard_count=1) as server:
+            return await run_loadgen("127.0.0.1", server.port, clients=1,
+                                     ops_per_client=4, seed=4)
+
+    report = asyncio.run(scenario())
+    assert report.consistent
+    assert report.wall_seconds > 0

@@ -1,0 +1,116 @@
+"""Adapters: the registry must mirror the legacy silos exactly.
+
+Each ``legacy_*_snapshot`` helper rebuilds a silo's own snapshot dict
+purely from registry reads; equality here proves the registry is a
+lossless view — and a silo field added without its registration breaks
+these tests instead of silently vanishing from the exposition.
+"""
+
+from dataclasses import fields as dataclass_fields
+
+from repro.memory.stats import DramStats
+from repro.net.metrics import ServerMetrics
+from repro.obs import adapters
+from repro.obs.registry import MetricsRegistry, parse_exposition, sample
+from repro.replication.metrics import ReplicationMetrics
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.t = start
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _busy_server_metrics(clock: FakeClock) -> ServerMetrics:
+    metrics = ServerMetrics(clock=clock)
+    clock.advance(2.0)
+    metrics.observe_read(120, 3)
+    metrics.observe_request(b"set", 0.004, 8)
+    metrics.observe_request(b"get", 0.002, 40)
+    metrics.observe_request(b"get", 0.001, 5)
+    metrics.observe_queue_depth(5)
+    metrics.observe_commit(vsid=7)
+    metrics.observe_commit(vsid=7)
+    metrics.observe_commit(vsid=9)
+    metrics.connections_opened = 2
+    metrics.commit_batches = 4
+    metrics.merge_commits = 1
+    return metrics
+
+
+def test_server_snapshot_round_trip():
+    clock = FakeClock()
+    metrics = _busy_server_metrics(clock)
+    registry = MetricsRegistry()
+    adapters.register_server_metrics(registry, metrics)
+    assert adapters.legacy_server_snapshot(registry) == metrics.snapshot()
+
+
+def test_server_round_trip_tracks_live_updates():
+    clock = FakeClock()
+    metrics = _busy_server_metrics(clock)
+    registry = MetricsRegistry()
+    adapters.register_server_metrics(registry, metrics)
+    # mutate after registration: the registry reads live state
+    clock.advance(3.5)
+    metrics.observe_request(b"delete", 0.009, 9)
+    assert adapters.legacy_server_snapshot(registry) == metrics.snapshot()
+
+
+def test_every_server_scalar_field_is_registered():
+    covered = set(adapters.SERVER_COUNTER_FIELDS) \
+        | set(adapters.SERVER_GAUGE_FIELDS)
+    scalar = {f.name for f in dataclass_fields(ServerMetrics)
+              if f.type == "int" and not f.name.startswith("_")}
+    scalar -= {"reservoir_size"}  # config, not a metric
+    assert scalar == covered
+
+
+def test_replication_snapshot_round_trip():
+    metrics = ReplicationMetrics()
+    metrics.bytes_sent = 512
+    metrics.lines_shipped = 20
+    metrics.lines_deduped_on_arrival = 6
+    metrics.root_advances = 3
+    metrics.lag_by_stream = {0: 2, 1: 0}
+    registry = MetricsRegistry()
+    adapters.register_replication_metrics(registry, metrics)
+    assert adapters.legacy_replication_snapshot(registry) \
+        == metrics.snapshot()
+
+
+def test_every_replication_scalar_field_is_registered():
+    scalar = {f.name for f in dataclass_fields(ReplicationMetrics)
+              if f.type == "int"}
+    assert scalar == set(adapters.REPLICATION_COUNTER_FIELDS)
+
+
+def test_dram_round_trip_and_exposition():
+    dram = DramStats(reads=5, lookups=11, refcount=2)
+    registry = MetricsRegistry()
+    adapters.register_dram_stats(registry, dram)
+    assert adapters.legacy_dram_dict(registry) == dram.as_dict()
+    dram.writes += 4  # live view
+    parsed = parse_exposition(registry.exposition())
+    assert sample(parsed, adapters.DRAM_METRIC, category="writes") == 4
+    assert sample(parsed, adapters.DRAM_METRIC, category="lookups") == 11
+
+
+def test_exposition_carries_labeled_server_series():
+    clock = FakeClock()
+    metrics = _busy_server_metrics(clock)
+    registry = MetricsRegistry()
+    adapters.register_server_metrics(registry, metrics)
+    parsed = parse_exposition(registry.exposition())
+    assert sample(parsed, "repro_server_ops_by_command", command="get") == 2
+    assert sample(parsed, "repro_server_commits_by_vsid", vsid="7") == 2
+    latency = metrics.snapshot()["latency"]
+    assert sample(parsed, "repro_server_latency_ms", quantile="p99_ms") \
+        == latency["p99_ms"]

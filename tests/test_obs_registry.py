@@ -1,0 +1,216 @@
+"""Metrics registry: instruments, exposition formats, edge cases."""
+
+import json
+import math
+from dataclasses import fields as dataclass_fields
+
+import pytest
+
+from repro.analysis.reporting import latency_summary, percentile
+from repro.memory.stats import CATEGORIES, DramStats
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+    sample,
+)
+
+
+# ----------------------------------------------------------------------
+# instruments
+
+
+def test_counter_inc_and_value():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", "requests")
+    assert c.value() == 0
+    c.inc()
+    c.inc(5)
+    assert c.value() == 6
+
+
+def test_labeled_counter_tracks_series_independently():
+    reg = MetricsRegistry()
+    c = reg.counter("ops", labels=("command",))
+    c.inc(1, "get")
+    c.inc(2, "set")
+    c.inc(1, "get")
+    assert c.value("get") == 2
+    assert c.value("set") == 2
+    assert c.value("delete") == 0
+
+
+def test_label_arity_enforced():
+    reg = MetricsRegistry()
+    c = reg.counter("ops", labels=("command",))
+    with pytest.raises(ValueError):
+        c.inc(1)
+    with pytest.raises(ValueError):
+        c.inc(1, "get", "extra")
+
+
+def test_gauge_goes_up_and_down():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(7)
+    assert g.value() == 7
+    g.set(3)
+    assert g.value() == 3
+
+
+def test_callback_backed_instruments_read_live_values():
+    reg = MetricsRegistry()
+    state = {"n": 0}
+    reg.counter("live_total", fn=lambda: state["n"])
+    assert reg.get("live_total").snapshot_value() == 0
+    state["n"] = 42
+    assert reg.get("live_total").snapshot_value() == 42
+
+
+def test_duplicate_registration_raises():
+    reg = MetricsRegistry()
+    reg.counter("x_total")
+    with pytest.raises(ValueError):
+        reg.gauge("x_total")
+
+
+def test_bad_metric_and_label_names_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("bad name")
+    with pytest.raises(ValueError):
+        reg.counter("ok_name", labels=("bad-label",))
+
+
+# ----------------------------------------------------------------------
+# histograms
+
+
+def test_histogram_requires_strictly_increasing_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, 1.0, 2.0))
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(2.0, 1.0))
+
+
+def test_histogram_boundary_value_lands_in_its_bucket():
+    """Prometheus ``le`` semantics: value == bound is *in* the bucket."""
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(1.0, 5.0, 10.0))
+    h.observe(1.0)   # exactly on the first bound -> le=1.0 bucket
+    h.observe(5.0)   # exactly on the second bound -> le=5.0 bucket
+    h.observe(10.0)  # exactly on the last finite bound
+    h.observe(10.000001)  # just over -> +Inf only
+    ((_, cumulative, total, count),) = h.series()
+    # cumulative counts: le=1 has 1, le=5 has 2, le=10 has 3, +Inf all 4
+    assert cumulative == [1, 2, 3, 4]
+    assert count == 4
+    assert total == pytest.approx(26.000001)
+
+
+def test_histogram_exposition_is_cumulative_and_parseable():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "latency", buckets=(0.5, 2.0))
+    for v in (0.1, 0.5, 1.0, 99.0):
+        h.observe(v)
+    parsed = parse_exposition(reg.exposition())
+    assert sample(parsed, "lat_bucket", le="0.5") == 2
+    assert sample(parsed, "lat_bucket", le="2.0") == 3
+    assert sample(parsed, "lat_bucket", le="+Inf") == 4
+    assert sample(parsed, "lat_count") == 4
+    assert sample(parsed, "lat_sum") == pytest.approx(100.6)
+
+
+def test_empty_histogram_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.histogram("lat", buckets=(1.0,))
+    assert reg.get("lat").snapshot_value() == \
+        {"count": 0, "sum": 0.0, "buckets": {}}
+
+
+# ----------------------------------------------------------------------
+# exposition / snapshot
+
+
+def test_exposition_has_help_and_type_lines():
+    reg = MetricsRegistry()
+    reg.counter("a_total", "things counted")
+    reg.gauge("b", "a level")
+    text = reg.exposition()
+    assert "# HELP a_total things counted" in text
+    assert "# TYPE a_total counter" in text
+    assert "# TYPE b gauge" in text
+    assert text.endswith("\n")
+
+
+def test_exposition_escapes_label_values():
+    reg = MetricsRegistry()
+    c = reg.counter("q", labels=("key",))
+    c.inc(1, 'she said "hi"\n')
+    parsed = parse_exposition(reg.exposition())
+    assert sample(parsed, "q", key='she said "hi"\n') == 1
+
+
+def test_exposition_integer_values_have_no_decimal_point():
+    reg = MetricsRegistry()
+    reg.counter("n_total", fn=lambda: 3)
+    line = [l for l in reg.exposition().splitlines()
+            if l.startswith("n_total ")][0]
+    assert line == "n_total 3"
+
+
+def test_snapshot_is_json_safe_and_sorted():
+    reg = MetricsRegistry()
+    reg.counter("b_total").inc(2)
+    reg.counter("a_total").inc(1)
+    g = reg.gauge("lag", labels=("stream",))
+    g.set(4, "0")
+    snap = json.loads(reg.snapshot_json())
+    assert list(snap) == sorted(snap)
+    assert snap["a_total"] == 1
+    assert snap["lag"] == {"0": 4}
+
+
+def test_parse_exposition_handles_inf():
+    parsed = parse_exposition("up_bound +Inf\ndown_bound -Inf\n")
+    assert parsed[("up_bound", ())] == math.inf
+    assert parsed[("down_bound", ())] == -math.inf
+
+
+# ----------------------------------------------------------------------
+# reservoir edge cases (shared percentile definitions)
+
+
+def test_percentile_empty_population_is_zero():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([], 0.99) == 0.0
+
+
+def test_latency_summary_empty_reservoir():
+    assert latency_summary([]) == \
+        {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+
+
+def test_percentile_rejects_out_of_range_fraction():
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+# ----------------------------------------------------------------------
+# DramStats drift guards: a category added to the dataclass without
+# updating CATEGORIES (or total()) must fail here, not silently skew
+# Figure 6.
+
+
+def test_dram_stats_fields_match_categories():
+    assert tuple(f.name for f in dataclass_fields(DramStats)) == CATEGORIES
+
+
+def test_dram_stats_total_covers_every_category():
+    stats = DramStats()
+    for i, name in enumerate(CATEGORIES, start=1):
+        setattr(stats, name, i)
+    assert stats.total() == sum(range(1, len(CATEGORIES) + 1))
+    assert stats.total() == sum(stats.as_dict().values())
