@@ -1,0 +1,166 @@
+"""Hot-path microbenchmarks for the structural memo (host-level).
+
+Content-uniqueness makes canonical build, three-way merge and content
+fingerprinting pure functions of line content, so the serving stack
+memoizes them (:mod:`repro.memory.memo`). This module measures what that
+buys: each benchmark runs the same steady-state workload on two fresh
+machines — memo disabled (the modeled-stats-exact default) and memo
+enabled (the serving configuration) — and reports wall-clock seconds and
+the speedup. A fourth benchmark compares the router's two commit
+strategies: N sequential map puts versus one :meth:`HMap.put_many`
+bulk-ingest commit.
+
+Both arms are *warmed* with one untimed pass first: the memo arm fills
+its tables, the plain arm fills the dedup store, so the timed region
+measures the steady-state per-operation cost a long-running cache
+converges to — the regime the serving benchmarks operate in.
+
+``repro bench hotpath`` runs this and writes
+``benchmarks/out/hotpath_speedup.json``; CI runs it with a 1.2× floor.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.core.machine import Machine
+from repro.segments import dag, merge
+from repro.structures.anon import AnonSegment
+from repro.structures.hmap import HMap
+
+
+def _payloads(count: int, size: int = 256) -> List[bytes]:
+    return [(b"hotpath-payload-%06d-" % i) * (size // 20 + 1)
+            for i in range(count)][:count]
+
+
+def _bench_build(machine: Machine, payloads: List[bytes],
+                 rounds: int) -> float:
+    """Steady-state cost of materializing repeated payloads as DAGs."""
+    mem = machine.mem
+    # warm pass doubles as the pin: live handles keep every root line
+    # allocated, so deallocation never invalidates the warmed state
+    pins = [AnonSegment.from_bytes(mem, p) for p in payloads]
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for payload in payloads:
+            AnonSegment.from_bytes(mem, payload).release()
+    elapsed = time.perf_counter() - start
+    for seg in pins:
+        seg.release()
+    return elapsed
+
+
+def _bench_merge(machine: Machine, words: int, pairs: int,
+                 rounds: int) -> float:
+    """Steady-state cost of re-folding recurring merge triples."""
+    mem = machine.mem
+    base, height = dag.build_segment(mem, list(range(1, words + 1)))
+    sides: List[Tuple[object, object]] = []
+    for i in range(pairs):
+        mine = dag.write_word(mem, dag.retain_entry(mem, base), height,
+                              2 * i, 10_000 + i)
+        theirs = dag.write_word(mem, dag.retain_entry(mem, base), height,
+                                words - 1 - 2 * i, 20_000 + i)
+        sides.append((mine, theirs))
+    # warm pass, pinning each merged result so its lines stay allocated
+    pins = [merge.merge_entries(mem, base, m, t, height)
+            for m, t in sides]
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for mine, theirs in sides:
+            merged = merge.merge_entries(mem, base, mine, theirs, height)
+            dag.release_entry(mem, merged)
+    elapsed = time.perf_counter() - start
+    for entry in pins:
+        dag.release_entry(mem, entry)
+    for mine, theirs in sides:
+        dag.release_entry(mem, mine)
+        dag.release_entry(mem, theirs)
+    dag.release_entry(mem, base)
+    return elapsed
+
+
+def _bench_fingerprint(machine: Machine, words: int, rounds: int) -> float:
+    """Steady-state cost of re-fingerprinting a stable segment."""
+    vsid = machine.create_segment(list(range(1, words + 1)))
+    dag.segment_fingerprint(machine, vsid)  # warm
+    start = time.perf_counter()
+    for _ in range(rounds):
+        dag.segment_fingerprint(machine, vsid)
+    elapsed = time.perf_counter() - start
+    machine.drop_segment(vsid)
+    return elapsed
+
+
+def _bench_ingest(machine: Machine, items: List[Tuple[bytes, bytes]],
+                  bulk: bool) -> float:
+    """One batch of inserts: N commits versus one put_many commit."""
+    kvp = HMap.create(machine)
+    start = time.perf_counter()
+    if bulk:
+        kvp.put_many(items)
+    else:
+        for key, value in items:
+            kvp.put(key, value)
+    elapsed = time.perf_counter() - start
+    kvp.drop()
+    return elapsed
+
+
+def _machine(memo: bool) -> Machine:
+    machine = Machine()
+    if memo:
+        machine.mem.memo.enable()
+    return machine
+
+
+def _arm(off_seconds: float, on_seconds: float) -> Dict[str, float]:
+    return {
+        "seconds_off": round(off_seconds, 6),
+        "seconds_on": round(on_seconds, 6),
+        "speedup": round(off_seconds / max(on_seconds, 1e-9), 2),
+    }
+
+
+def run_hotpath(scale: int = 1) -> Dict:
+    """Run all four hot-path benchmarks; returns a JSON-safe report.
+
+    ``scale`` multiplies the repetition counts (CI uses 1; larger values
+    tighten the timings at the cost of wall clock).
+    """
+    scale = max(1, scale)
+    payloads = _payloads(64)
+    build = [_bench_build(_machine(memo), payloads, rounds=8 * scale)
+             for memo in (False, True)]
+    merge_times = [_bench_merge(_machine(memo), words=256, pairs=8,
+                                rounds=40 * scale)
+                   for memo in (False, True)]
+    fingerprint = [_bench_fingerprint(_machine(memo), words=2048,
+                                      rounds=30 * scale)
+                   for memo in (False, True)]
+    items = [(b"bulk-key-%06d" % i, b"bulk-value-%06d-" % i * 4)
+             for i in range(192 * scale)]
+    seq_seconds = _bench_ingest(_machine(True), items, bulk=False)
+    bulk_seconds = _bench_ingest(_machine(True), items, bulk=True)
+
+    memo_machine = _machine(True)
+    _bench_build(memo_machine, payloads, rounds=2)
+    report = {
+        "scale": scale,
+        "build": _arm(build[0], build[1]),
+        "merge": _arm(merge_times[0], merge_times[1]),
+        "fingerprint": _arm(fingerprint[0], fingerprint[1]),
+        "bulk_ingest": {
+            "items": len(items),
+            "seconds_sequential": round(seq_seconds, 6),
+            "seconds_bulk": round(bulk_seconds, 6),
+            "speedup": round(seq_seconds / max(bulk_seconds, 1e-9), 2),
+        },
+        "memo_tables": memo_machine.mem.memo.snapshot(),
+    }
+    report["min_memo_speedup"] = min(report[k]["speedup"]
+                                     for k in ("build", "merge",
+                                               "fingerprint"))
+    return report

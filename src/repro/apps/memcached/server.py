@@ -66,6 +66,16 @@ class HicampMemcached:
         self.kvp.put(key, value)
         return True
 
+    def set_many(self, items) -> None:
+        """Store a batch of pairs in one atomic commit (bulk ingest).
+
+        The whole batch is one tree rebuild and one root swap
+        (:meth:`HMap.put_many`), the coalesced alternative to the
+        merge-absorbed per-key commits of the queue worker.
+        """
+        self.stats.sets += len(items)
+        self.kvp.put_many(items)
+
     def delete(self, key: bytes) -> bool:
         """Remove a key; False when absent."""
         self.stats.deletes += 1

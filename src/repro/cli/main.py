@@ -114,7 +114,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=args.host, port=args.port, shard_count=args.shards,
             read_timeout=args.read_timeout,
             backend_factory=backend_factory,
-            queue_depth=args.queue_depth, batch_limit=args.batch_limit)
+            queue_depth=args.queue_depth, batch_limit=args.batch_limit,
+            commit_mode=args.commit_mode)
         await server.start()
         print("# repro serve: HICAMP memcached on %s:%d "
               "(%d shards; `stats json` for metrics; Ctrl-C to stop)"
@@ -406,6 +407,40 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.hotpath import run_hotpath
+    from repro.analysis.reporting import format_table
+
+    report = run_hotpath(scale=args.scale)
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        rows = [[name, report[name]["seconds_off"],
+                 report[name]["seconds_on"], report[name]["speedup"]]
+                for name in ("build", "merge", "fingerprint")]
+        bulk = report["bulk_ingest"]
+        rows.append(["bulk ingest (%d items)" % bulk["items"],
+                     bulk["seconds_sequential"], bulk["seconds_bulk"],
+                     bulk["speedup"]])
+        print(format_table(
+            ["hot path", "seconds (plain)", "seconds (memo/bulk)",
+             "speedup"],
+            rows, title="structural memo + bulk ingest (scale %d)"
+            % report["scale"]))
+    if args.check is not None and report["min_memo_speedup"] < args.check:
+        print("bench hotpath: min memo speedup %.2fx below the %.2fx "
+              "floor" % (report["min_memo_speedup"], args.check),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from repro import Machine
     from repro.structures import HMap, HString
@@ -480,6 +515,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-shard commit queue bound (backpressure)")
     p_srv.add_argument("--batch-limit", type=int, default=16,
                        help="max commits merged per shard batch")
+    p_srv.add_argument("--commit-mode", choices=("merge", "bulk"),
+                       default="merge",
+                       help="how a shard worker lands a batched run of "
+                            "sets: merge (absorb lost CASes via "
+                            "merge-update, the default) or bulk (one "
+                            "put_many tree rebuild per run)")
     p_srv.add_argument("--quota", type=int, default=None,
                        help="per-machine byte quota (enables LRU eviction)")
     p_srv.add_argument("--metrics-json", default=None,
@@ -605,6 +646,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--limit", type=int, default=0,
                       help="print at most N spans (0 = all)")
     p_tr.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="hot-path microbenchmarks (structural memo on/off, "
+             "bulk ingest)")
+    p_bench.add_argument("target", choices=("hotpath",),
+                         help="benchmark suite to run")
+    p_bench.add_argument("--scale", type=int, default=1,
+                         help="repetition multiplier (default 1)")
+    p_bench.add_argument("--out", default=None,
+                         help="write the JSON report here")
+    p_bench.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of a table")
+    p_bench.add_argument("--check", type=float, default=None,
+                         help="exit 1 if the smallest memo speedup "
+                              "(build/merge/fingerprint) is below this "
+                              "floor (CI perf smoke)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_demo = sub.add_parser("demo", help="one-minute architecture tour")
     p_demo.set_defaults(func=_cmd_demo)

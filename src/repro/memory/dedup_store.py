@@ -42,6 +42,7 @@ from repro.memory.line import (
     line_child_plids,
     zero_line,
 )
+from repro.memory.memo import StructuralMemo
 from repro.memory.stats import DramStats, RowBuffer
 from repro.params import MemoryConfig
 
@@ -138,9 +139,17 @@ class DedupStore:
         self._rc_cache = _RcCache(rc_cache_entries, self.stats, self.rows,
                                   self._row_of)
         self._zero = zero_line(self.config.words_per_line)
+        #: canonical encoding of each live line, captured at allocation so
+        #: deallocation (and dealloc-time index maintenance) never has to
+        #: re-derive it
+        self._enc_by_plid: Dict[int, bytes] = {}
         #: callbacks invoked with a PLID just before it is deallocated
         #: (the cache registers here to invalidate its copy).
         self.dealloc_listeners: List = []
+        #: host-level structural memo (disabled by default; the serving
+        #: stack and hotpath benchmarks enable it — see memo.py)
+        self.memo = StructuralMemo()
+        self.dealloc_listeners.append(self.memo.on_dealloc)
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -240,7 +249,8 @@ class DedupStore:
         """
         return self.peek(plid)
 
-    def install_line(self, line: Line) -> Tuple[int, bool]:
+    def install_line(self, line: Line,
+                     enc: Optional[bytes] = None) -> Tuple[int, bool]:
         """Install a line received from another machine.
 
         Exactly :meth:`lookup` — lookup-by-content is what makes
@@ -255,14 +265,19 @@ class DedupStore:
             if child != ZERO_PLID and child not in self._lines:
                 raise BadPlidError(
                     "install references unallocated child PLID %d" % child)
-        return self.lookup(line)
+        return self.lookup(line, enc)
 
-    def lookup(self, line: Line) -> Tuple[int, bool]:
+    def lookup(self, line: Line,
+               enc: Optional[bytes] = None) -> Tuple[int, bool]:
         """Find-or-allocate ``line`` by content.
 
         Returns ``(plid, created)``. The returned reference is counted: a
         matching lookup increments the line's reference count; a fresh
         allocation starts it at one (section 3.1).
+
+        ``enc`` is the line's canonical encoding when the caller already
+        derived it (the HICAMP cache computes it for its own set index);
+        passing it avoids re-encoding on this hot path.
 
         DRAM charging follows the paper's step list: one signature-line
         read; one data-line read per signature match (false positives cost
@@ -271,7 +286,8 @@ class DedupStore:
         """
         if is_zero_line(line):
             return ZERO_PLID, False
-        enc = encode_line(line)
+        if enc is None:
+            enc = encode_line(line)
         bucket_idx = hashing.bucket_hash(enc, self._num_buckets)
         sig = hashing.signature(enc)
         bucket = self._buckets.get(bucket_idx)
@@ -345,6 +361,7 @@ class DedupStore:
             self.rows.access(bucket_idx)
         bucket.by_encoding[enc] = plid
         self._lines[plid] = line
+        self._enc_by_plid[plid] = enc
         self._refcounts[plid] = 1
         self._pending_write.add(plid)
         self._rc_cache.touch(plid, creating=True)
@@ -415,7 +432,9 @@ class DedupStore:
         for listener in self.dealloc_listeners:
             listener(plid)
         line = self._lines.pop(plid)
-        enc = encode_line(line)
+        enc = self._enc_by_plid.pop(plid, None)
+        if enc is None:
+            enc = encode_line(line)
         bucket_idx = self.bucket_of(plid)
         bucket = self._buckets[bucket_idx]
         bucket.by_encoding.pop(enc, None)

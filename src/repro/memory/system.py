@@ -55,6 +55,15 @@ class MemorySystem:
         """Off-chip DRAM access counters (the paper's headline metric)."""
         return self.store.stats
 
+    @property
+    def memo(self):
+        """The store's structural memo (:mod:`repro.memory.memo`).
+
+        Disabled by default so modeled statistics are untouched; the
+        serving stack enables it for host-level speed.
+        """
+        return self.store.memo
+
     def dram_probe(self):
         """Context manager capturing the DRAM-access delta of a block.
 

@@ -82,9 +82,19 @@ class ShardRouter:
                  metrics: Optional[ServerMetrics] = None,
                  injector=None,
                  recorder=None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 commit_mode: str = "merge",
+                 structural_memo: bool = True) -> None:
         if shard_count < 1:
             raise ValueError("need at least one shard")
+        if commit_mode not in ("merge", "bulk"):
+            raise ValueError("commit_mode must be 'merge' or 'bulk'")
+        #: how a worker commits a run of batched sets: ``"merge"`` stages
+        #: each against one snapshot and lets merge-update absorb the
+        #: lost CASes (the §4.3 behaviour the latency model prices);
+        #: ``"bulk"`` coalesces the run into one tree rebuild and one
+        #: root swap via the put_many bulk-ingest path.
+        self.commit_mode = commit_mode
         #: optional :class:`repro.testing.faults.FaultInjector`; its
         #: ``before_commit`` hook stalls a shard worker between draining
         #: a batch and applying it (adversarial testing only).
@@ -107,6 +117,13 @@ class ShardRouter:
         adapters.register_server_metrics(self.registry, self.metrics)
         adapters.register_dram_stats(self.registry, self.machine.mem.dram)
         adapters.register_router(self.registry, self)
+        # the structural memo (PLID-keyed build/merge/fingerprint caches)
+        # is off by default machine-wide so modeled-DRAM experiments stay
+        # exact; the serving stack opts in — hits bypass modeled lookup
+        # traffic but stay refcount-exact (docs/performance.md)
+        if structural_memo:
+            self.machine.mem.memo.enable()
+        adapters.register_memo(self.registry, self.machine.mem.memo)
         # batched merge-commits stage through HMap.put_steps, which only
         # matches plain backends (a TTL backend rewrites the payload)
         self._merge_batches = all(type(s) is HicampMemcached
@@ -325,7 +342,9 @@ class ShardRouter:
                     run.append(pending.pop(0))
                 else:
                     break
-            if len(run) > 1:
+            if len(run) > 1 and self.commit_mode == "bulk":
+                self._commit_bulk_sets(shard, run, batch_span)
+            elif len(run) > 1:
                 self._commit_merged_sets(shard, run, batch_span)
             elif run:
                 self._apply_one(shard, run[0][0], run[0][1])
@@ -393,6 +412,35 @@ class ShardRouter:
         self.metrics.merge_commits += merged
         if merge_span is not None:
             recorder.end(merge_span, merge_commits=merged)
+
+    def _commit_bulk_sets(self, shard: int, run,
+                          batch_span: Optional[int] = None) -> None:
+        """Coalesce a run of distinct-key sets into one bulk commit.
+
+        The entire run lands through :meth:`HicampMemcached.set_many` —
+        one bottom-up tree rebuild and one root CAS for N keys, instead
+        of N staged commits absorbed by merge-update.
+        """
+        server = self.servers[shard]
+        recorder = self.recorder
+        bulk_span = None
+        if recorder.enabled:
+            bulk_span = recorder.begin("bulk_commit", parent=batch_span,
+                                       shard=shard, staged=len(run))
+        try:
+            server.set_many([(frame.key, frame.payload)
+                             for frame, _, _ in run])
+        except Exception as exc:
+            response = b"SERVER_ERROR %s\r\n" \
+                % str(exc).encode("ascii", "replace")
+            self.metrics.server_errors += len(run)
+            for _, future, _ in run:
+                _resolve(future, response)
+        else:
+            for _, future, _ in run:
+                _resolve(future, b"STORED\r\n")
+        if bulk_span is not None:
+            recorder.end(bulk_span)
 
     def _apply_one(self, shard: int, frame: Frame, future) -> None:
         try:

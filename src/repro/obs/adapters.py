@@ -27,6 +27,7 @@ __all__ = [
     "register_replication_metrics",
     "register_dram_stats",
     "register_router",
+    "register_memo",
     "legacy_server_snapshot",
     "legacy_replication_snapshot",
     "legacy_dram_dict",
@@ -151,6 +152,22 @@ def legacy_dram_dict(registry: MetricsRegistry,
                      name: str = DRAM_METRIC) -> Dict[str, int]:
     """Rebuild ``DramStats.as_dict()`` from the registry."""
     return dict(registry.get(name).snapshot_value())
+
+
+def register_memo(registry: MetricsRegistry, memo,
+                  prefix: str = "repro_memo_") -> None:
+    """Expose a live :class:`~repro.memory.memo.StructuralMemo`.
+
+    One labeled counter covers every table's hit/miss/eviction/
+    invalidation flow; a gauge tracks the live (bounded) table sizes.
+    """
+    registry.counter(prefix + "ops_total",
+                     "structural memo probes and maintenance by table",
+                     labels=("table", "outcome"), fn=memo.ops)
+    registry.gauge(prefix + "entries", "live memo entries per table",
+                   labels=("table",), fn=memo.sizes)
+    registry.gauge(prefix + "enabled", "1 when the memo serves hits",
+                   fn=lambda: int(memo.enabled))
 
 
 def register_router(registry: MetricsRegistry, router) -> None:

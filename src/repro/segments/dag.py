@@ -112,6 +112,27 @@ def entry_key(entry: Entry) -> bytes:
 # ----------------------------------------------------------------------
 # building
 
+def _interned_lookup(mem: MemorySystem, line: Line) -> int:
+    """Find-or-allocate a line, consulting the structural memo first.
+
+    A memo hit performs exactly the reference bump the dedup-hit path
+    would (the PLID's count goes up by one either way), so reference
+    counting stays exact; what it skips is the host-side encode/hash/
+    bucket walk — and the modeled lookup charge, which is why the memo
+    is off by default (see :mod:`repro.memory.memo`).
+    """
+    memo = mem.memo
+    if not memo.enabled:
+        return mem.lookup(line)
+    plid = memo.get_line(line)
+    if plid is not None:
+        mem.incref(plid)
+        return plid
+    plid = mem.lookup(line)
+    memo.put_line(line, plid)
+    return plid
+
+
 def _leaf_entry(mem: MemorySystem, words: Sequence) -> Entry:
     """Canonical entry for one leaf-line span of words."""
     vals = _trim(words)
@@ -123,7 +144,7 @@ def _leaf_entry(mem: MemorySystem, words: Sequence) -> Entry:
             return inline
     w = mem.words_per_line
     line: Line = tuple(words) + (0,) * (w - len(words))
-    plid = mem.lookup(line)
+    plid = _interned_lookup(mem, line)
     return PlidRef(plid)
 
 
@@ -164,7 +185,7 @@ def _canonical_interior(mem: MemorySystem, children: List[Entry], level: int) ->
         return PlidRef(child.plid, (idx,) + child.path)
     # Materialize the interior line.
     line: Line = tuple(children)
-    plid = mem.lookup(line)
+    plid = _interned_lookup(mem, line)
     for _, c in nonzero:
         if isinstance(c, PlidRef):
             mem.decref(c.plid)
@@ -519,9 +540,21 @@ def content_fingerprint(store, entry: Entry,
     roots by this digest instead — each PLID reference is replaced by
     its target's fingerprint, bottom-up. ``memo`` (plid → digest) makes
     repeated fingerprinting of overlapping DAGs linear overall.
+
+    When no per-call ``memo`` is given and the store's structural memo
+    is enabled, its machine-level digest cache is used instead: digests
+    then persist across calls (replication delta pruning, convergence
+    checks) and are invalidated through the store's dealloc listeners,
+    so a reused PLID can never serve a stale digest.
     """
+    tracker = None
     if memo is None:
-        memo = {}
+        smemo = getattr(store, "memo", None)
+        if smemo is not None and smemo.enabled:
+            memo = smemo.digests
+            tracker = smemo
+        else:
+            memo = {}
 
     def word_material(word) -> bytes:
         if isinstance(word, PlidRef):
@@ -532,11 +565,15 @@ def content_fingerprint(store, entry: Entry,
         if plid == ZERO_PLID:
             return b"\x00" * 16
         cached = memo.get(plid)
+        if tracker is not None:
+            tracker.note_digest(cached is not None)
         if cached is not None:
             return cached
-        # resolve children first, iteratively (DAGs can be deep)
+        # resolve children first, iteratively (DAGs can be deep). The
+        # skip view is live: subtrees digested earlier in this very walk
+        # are pruned too, not just ones memoized before the call.
         for child, _ in walk_lines(store, PlidRef(plid),
-                                   skip=set(memo)):
+                                   skip=memo.keys()):
             material = b"".join(word_material(w)
                                 for w in store.peek(child))
             memo[child] = hashlib.blake2b(material,
@@ -546,6 +583,8 @@ def content_fingerprint(store, entry: Entry,
     if entry == 0:
         return hashlib.blake2b(b"Z", digest_size=16).digest()
     material = word_material(entry)
+    if tracker is not None:
+        tracker.trim_digests()
     return hashlib.blake2b(material, digest_size=16).digest()
 
 

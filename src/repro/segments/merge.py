@@ -24,6 +24,7 @@ from typing import List, Tuple
 
 from repro.errors import MergeConflictError
 from repro.memory.line import Inline, PlidRef
+from repro.memory.memo import MISS
 from repro.memory.system import MemorySystem
 from repro.params import WORD_MASK
 from repro.segments import dag
@@ -110,33 +111,51 @@ def merge_entries(mem: MemorySystem, base: Entry, mine: Entry, theirs: Entry,
     # single root compare (section 3.4). Note the sound skips are the
     # one-side-unchanged cases; two sides that made the *same-looking*
     # change must still merge word-by-word, or two identical counter
-    # increments would collapse into one.
+    # increments would collapse into one. (For the same reason there is
+    # deliberately no ``mine == theirs`` short-circuit here — the memo
+    # below covers *repeated identical triples* soundly instead, since a
+    # merge is a pure function of its three contents.)
     if k_mine == k_base:
         stats.subtrees_skipped += 1
         return dag.retain_entry(mem, theirs)
     if k_theirs == k_base:
         stats.subtrees_skipped += 1
         return dag.retain_entry(mem, mine)
+    memo = mem.memo
+    memo_key = None
+    if memo.enabled:
+        memo_key = (k_base, k_mine, k_theirs, level)
+        cached = memo.get_merge(memo_key)
+        if cached is not MISS:
+            # content-unique entries make the key a full content triple;
+            # retaining the cached result is refcount-identical to
+            # re-deriving it (intermediate lookup hits cancel out)
+            stats.subtrees_skipped += 1
+            return dag.retain_entry(mem, cached)
     if level == 0:
         stats.leaf_merges += 1
         b, m, t = (_leaf_view(mem, e) for e in (base, mine, theirs))
-        merged = [three_way_merge_word(b[i], m[i], t[i])
-                  for i in range(mem.words_per_line)]
-        return dag._leaf_entry(mem, merged)
-    stats.levels_descended += 1
-    bc = _children_view(mem, base, level)
-    mc = _children_view(mem, mine, level)
-    tc = _children_view(mem, theirs, level)
-    children: List[Entry] = []
-    try:
-        for j in range(mem.fanout):
-            children.append(merge_entries(mem, bc[j], mc[j], tc[j],
-                                          level - 1, stats))
-    except MergeConflictError:
-        for c in children:
-            dag.release_entry(mem, c)
-        raise
-    return dag._canonical_interior(mem, children, level)
+        words = [three_way_merge_word(b[i], m[i], t[i])
+                 for i in range(mem.words_per_line)]
+        merged = dag._leaf_entry(mem, words)
+    else:
+        stats.levels_descended += 1
+        bc = _children_view(mem, base, level)
+        mc = _children_view(mem, mine, level)
+        tc = _children_view(mem, theirs, level)
+        children: List[Entry] = []
+        try:
+            for j in range(mem.fanout):
+                children.append(merge_entries(mem, bc[j], mc[j], tc[j],
+                                              level - 1, stats))
+        except MergeConflictError:
+            for c in children:
+                dag.release_entry(mem, c)
+            raise
+        merged = dag._canonical_interior(mem, children, level)
+    if memo_key is not None:
+        memo.put_merge(memo_key, merged, (base, mine, theirs, merged))
+    return merged
 
 
 def merge_roots(mem: MemorySystem,

@@ -42,8 +42,26 @@ class AnonSegment:
 
     @classmethod
     def from_bytes(cls, mem: MemorySystem, data: bytes) -> "AnonSegment":
-        """Build from a byte string (packed big-endian into words)."""
-        seg = cls.from_words(mem, pack_words(data)) if data else cls(mem, 0, 0, 0)
+        """Build from a byte string (packed big-endian into words).
+
+        With the structural memo enabled, a repeated payload resolves to
+        its memoized root in one probe — taking the same owned reference
+        a full rebuild would have netted (the rebuild's intermediate
+        dedup hits all cancel) — instead of packing and rebuilding the
+        whole canonical DAG.
+        """
+        if not data:
+            return cls(mem, 0, 0, 0)
+        memo = mem.memo
+        if not memo.enabled:
+            return cls.from_words(mem, pack_words(data))
+        cached = memo.get_segment(data)
+        if cached is not None:
+            root, height, length = cached
+            dag.retain_entry(mem, root)
+            return cls(mem, root, height, length)
+        seg = cls.from_words(mem, pack_words(data))
+        memo.put_segment(data, seg.root, seg.height, seg.length)
         return seg
 
     def words(self) -> List:

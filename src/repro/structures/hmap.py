@@ -23,7 +23,7 @@ concurrent non-conflicting updates merge instead of aborting
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.machine import Machine
 from repro.core.transactions import atomic_update
@@ -146,6 +146,44 @@ class HMap:
             key_seg.release()
             value_seg.release()
         return created[0]
+
+    def put_many(self, items: Sequence[Tuple[bytes, bytes]]) -> List[bool]:
+        """Insert/update many pairs in **one** atomic commit.
+
+        All stages land in a single iterator register, so the whole batch
+        is one bottom-up tree rebuild and one root CAS instead of one per
+        key — the bulk-ingest path the router's commit queue coalesces
+        into. Returns one was-new flag per item, in input order; a key
+        repeated within the batch counts as new at most once (later
+        stages observe the earlier transient store) and the last value
+        wins, exactly as sequential puts would behave.
+        """
+        if not items:
+            return []
+        results = [False] * len(items)
+        staged: List[Tuple[int, AnonSegment, int, AnonSegment, int]] = []
+        try:
+            for key, value in items:
+                key_seg, base = self._key_segment(key)
+                value_seg = AnonSegment.from_bytes(self.machine.mem, value)
+                staged.append((base, key_seg, len(key),
+                               value_seg, len(value)))
+
+            def update(it):
+                # atomic_update may re-run this on a lost CAS: start the
+                # accumulator from scratch each attempt
+                for i in range(len(results)):
+                    results[i] = False
+                for i, (base, kseg, klen, vseg, vlen) in enumerate(staged):
+                    results[i] = self._stage_put(it, base, kseg, klen,
+                                                 vseg, vlen)
+
+            self.machine.atomic_update(self.vsid, update)
+        finally:
+            for _, key_seg, _, value_seg, _ in staged:
+                key_seg.release()
+                value_seg.release()
+        return results
 
     def put_steps(self, key: bytes, value: bytes, max_retries: int = 16):
         """Generator variant of :meth:`put` for concurrency simulation.

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import zlib
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.machine import Machine
 from repro.structures.anon import AnonSegment
@@ -49,16 +49,18 @@ class ShardedHMap:
         # stable while its lines are pinned.
         seg = AnonSegment.from_bytes(self.machine.mem, key)
         try:
-            index = _index_for_key(seg, len(key))
-            # "indexed by several bits of the key PLID": fold the
-            # content-unique identity so the selector bits vary for both
-            # line-referenced and inline-compacted key roots
-            digest = zlib.crc32(index.to_bytes((index.bit_length() + 7) // 8
-                                               or 1, "big"))
-            selector = digest & ((1 << self.shard_bits) - 1)
-            return op(self.shards[selector])
+            return op(self.shards[self._selector(seg, len(key))])
         finally:
             seg.release()
+
+    def _selector(self, seg: AnonSegment, key_len: int) -> int:
+        index = _index_for_key(seg, key_len)
+        # "indexed by several bits of the key PLID": fold the
+        # content-unique identity so the selector bits vary for both
+        # line-referenced and inline-compacted key roots
+        digest = zlib.crc32(index.to_bytes((index.bit_length() + 7) // 8
+                                           or 1, "big"))
+        return digest & ((1 << self.shard_bits) - 1)
 
     def shard_for(self, key: bytes) -> HMap:
         """The sub-map that holds ``key`` (stable for a given content)."""
@@ -71,6 +73,37 @@ class ShardedHMap:
     def put(self, key: bytes, value: bytes) -> bool:
         """Insert or update; returns True when new."""
         return self._with_shard(key, lambda shard: shard.put(key, value))
+
+    def put_many(self, items: Sequence[Tuple[bytes, bytes]]) -> List[bool]:
+        """Bulk insert/update: one atomic commit *per touched shard*.
+
+        Items are grouped by owning shard and each group goes through
+        :meth:`HMap.put_many`, so a batch of N keys costs at most
+        ``2**shard_bits`` tree rebuilds instead of N. Returns was-new
+        flags in input order.
+        """
+        results = [False] * len(items)
+        groups: Dict[int, List[Tuple[int, bytes, bytes]]] = {}
+        # Pin every key segment until its group has committed: the shard
+        # selector is only stable while the key's lines stay allocated
+        # (afterwards the inserted map entry pins them).
+        pins: List[AnonSegment] = []
+        try:
+            for idx, (key, value) in enumerate(items):
+                seg = AnonSegment.from_bytes(self.machine.mem, key)
+                pins.append(seg)
+                selector = self._selector(seg, len(key))
+                groups.setdefault(selector, []).append((idx, key, value))
+            for selector in sorted(groups):
+                group = groups[selector]
+                flags = self.shards[selector].put_many(
+                    [(k, v) for _, k, v in group])
+                for (idx, _, _), created in zip(group, flags):
+                    results[idx] = created
+        finally:
+            for seg in pins:
+                seg.release()
+        return results
 
     def put_steps(self, key: bytes, value: bytes, max_retries: int = 16):
         """Generator variant of :meth:`put` (see :meth:`HMap.put_steps`).

@@ -39,6 +39,29 @@ class TestDemoCommand:
         assert "snapshot" in out
 
 
+class TestBenchCommand:
+    def test_hotpath_writes_report_and_passes_floor(self, tmp_path,
+                                                    capsys):
+        out = tmp_path / "hotpath.json"
+        assert main(["bench", "hotpath", "--out", str(out),
+                     "--check", "1.2"]) == 0
+        import json
+        report = json.loads(out.read_text())
+        assert report["min_memo_speedup"] >= 1.2
+        assert set(report) >= {"build", "merge", "fingerprint",
+                               "bulk_ingest"}
+        assert "structural memo" in capsys.readouterr().out
+
+    def test_unreachable_floor_fails(self, tmp_path, capsys):
+        assert main(["bench", "hotpath", "--json",
+                     "--check", "1e9"]) == 1
+        assert "below" in capsys.readouterr().err
+
+    def test_parser_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "nonsense"])
+
+
 class TestMemcachedCommand:
     def test_protocol_session(self, capsys, monkeypatch):
         script = "set k 0 0 5\nhello\nget k\ndelete k\nget k\n"
