@@ -147,18 +147,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_endpoint(spec: str) -> tuple:
+    host, _, port = spec.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
-    from repro.net.loadgen import run_loadgen
+    from repro.net.loadgen import ReadSplitPolicy, run_loadgen
 
+    endpoints = None
+    policy_factory = None
+    if args.read_endpoint:
+        # fleet mode: writes stay on --host/--port (endpoint 0), plain
+        # reads round-robin across the replica endpoints
+        endpoints = [(args.host, args.port)]
+        endpoints += [_parse_endpoint(spec) for spec in args.read_endpoint]
+        readers = list(range(1, len(endpoints)))
+        policy_factory = lambda: ReadSplitPolicy(writer=0, readers=readers)
     try:
         report = asyncio.run(run_loadgen(
             args.host, args.port, clients=args.clients,
             ops_per_client=args.ops, pipeline_depth=args.pipeline,
             get_ratio=args.get_ratio, key_space=args.keys,
-            value_bytes=args.value_bytes, seed=args.seed))
+            value_bytes=args.value_bytes, seed=args.seed,
+            endpoints=endpoints, policy_factory=policy_factory))
     except OSError as exc:
         print("repro loadgen: cannot reach %s:%d: %s"
               % (args.host, args.port, exc), file=sys.stderr)
@@ -180,15 +195,72 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
              ["cas conflicts", report.cas_conflicts],
              ["errors", report.errors],
              ["oracle mismatches", report.oracle_mismatches],
-             ["shared mismatches", report.shared_mismatches],
-             ["batch RTT p50 (ms)", latency["p50_ms"]],
-             ["batch RTT p99 (ms)", latency["p99_ms"]]],
+             ["shared mismatches", report.shared_mismatches]]
+            + ([["endpoints", report.endpoints],
+                ["stale reads", report.stale_reads]]
+               if report.endpoints > 1 else [])
+            + [["batch RTT p50 (ms)", latency["p50_ms"]],
+               ["batch RTT p99 (ms)", latency["p99_ms"]]],
             title="loadgen against %s:%d" % (args.host, args.port)))
     return 0 if report.consistent and report.errors == 0 else 1
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.cluster import Cluster, ClusterConfig, TopologyManager
+
+    async def go() -> None:
+        cluster = Cluster(ClusterConfig(
+            leaders=args.leaders, followers=args.followers,
+            shards=args.shards, host=args.host, seed=args.seed))
+        manager = TopologyManager(
+            cluster, probe_interval=args.probe_interval,
+            failure_threshold=args.failure_threshold)
+        async with cluster:
+            await manager.start()
+            print("# repro cluster: %d leaders x %d followers "
+                  "(%d shards each), epoch %d"
+                  % (args.leaders, args.followers, args.shards,
+                     cluster.topology.epoch), file=sys.stderr)
+            for node_id in sorted(cluster.topology.nodes):
+                info = cluster.topology.nodes[node_id]
+                print("#   %-12s %-8s %s:%d"
+                      % (node_id, info.role, info.host, info.port),
+                      file=sys.stderr)
+            print("# `cluster topology` on any node returns the "
+                  "committed topology; Ctrl-C to stop", file=sys.stderr)
+            try:
+                while True:
+                    await asyncio.sleep(3600)
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await manager.stop()
+                cluster.sample_moved()
+                print("# cluster: %s"
+                      % json.dumps(cluster.metrics.snapshot(),
+                                   sort_keys=True), file=sys.stderr)
+
+    try:
+        asyncio.run(go())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print("repro cluster: %s" % exc, file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    if args.profile == "replication":
+    if args.profile == "cluster":
+        from repro.cluster.fuzz import ClusterEpisodeConfig, run_fuzz
+
+        cfg = ClusterEpisodeConfig(ops=args.ops, key_space=args.keys,
+                                   shards=args.shards)
+        report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
+    elif args.profile == "replication":
         from repro.replication.fuzz import (
             ReplicationEpisodeConfig,
             run_fuzz,
@@ -407,12 +479,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.reporting import format_table
+    from repro.cluster.bench import run_cluster_bench
+
+    report = run_cluster_bench(scale=args.scale)
+    out = pathlib.Path(args.out or "benchmarks/out/cluster_scaling.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    scaling = report["read_scaling"]
+    speedup_key = next(k for k in scaling if k.startswith("speedup_"))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        rows = [["single node (leader)", scaling["single_node_ops_s"]]]
+        rows += [["aggregate, %s follower(s)" % n, rate]
+                 for n, rate in sorted(
+                     scaling["aggregate_by_followers"].items(),
+                     key=lambda kv: int(kv[0]))]
+        rows.append([speedup_key.replace("_", " x"),
+                     "%.2fx" % scaling[speedup_key]])
+        rows.append(["recovery to convergence (s)",
+                     report["recovery"]["seconds_to_convergence"]])
+        print(format_table(["metric", "read ops/s"], rows,
+                           title="cluster scaling (scale %d) -> %s"
+                           % (report["scale"], out)))
+    if args.check is not None and scaling[speedup_key] < args.check:
+        print("bench cluster: %s %.2fx below the %.2fx floor"
+              % (speedup_key, scaling[speedup_key], args.check),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis.hotpath import run_hotpath
     from repro.analysis.reporting import format_table
 
+    if args.target == "cluster":
+        return _cmd_bench_cluster(args)
     report = run_hotpath(scale=args.scale)
     if args.out:
         out = pathlib.Path(args.out)
@@ -542,9 +651,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="keys per keyspace (private and shared)")
     p_lg.add_argument("--value-bytes", type=int, default=32)
     p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument("--read-endpoint", action="append", default=[],
+                      metavar="HOST:PORT",
+                      help="replica endpoint for plain reads (repeatable; "
+                           "writes stay on --host/--port, replica reads "
+                           "are checked against the write history)")
     p_lg.add_argument("--json", action="store_true",
                       help="print the report as JSON")
     p_lg.set_defaults(func=_cmd_loadgen)
+
+    p_cl = sub.add_parser(
+        "cluster",
+        help="a whole self-healing fleet in one process: sharded "
+             "leaders, follower fleets, topology manager")
+    cl_sub = p_cl.add_subparsers(dest="cluster_command", required=True)
+    p_cls = cl_sub.add_parser(
+        "serve", help="boot the fleet and serve until Ctrl-C")
+    p_cls.add_argument("--leaders", type=int, default=2,
+                       help="leader shards (default 2)")
+    p_cls.add_argument("--followers", type=int, default=2,
+                       help="followers per leader (default 2)")
+    p_cls.add_argument("--shards", type=int, default=2,
+                       help="KVP shards per leader (default 2)")
+    p_cls.add_argument("--host", default="127.0.0.1")
+    p_cls.add_argument("--seed", type=int, default=0,
+                       help="hash-ring seed (placement determinism)")
+    p_cls.add_argument("--probe-interval", type=float, default=0.25,
+                       help="seconds between manager health-probe ticks")
+    p_cls.add_argument("--failure-threshold", type=int, default=3,
+                       help="consecutive probe failures before a leader "
+                            "is declared dead")
+    p_cls.set_defaults(func=_cmd_cluster)
 
     p_rl = sub.add_parser(
         "replicate-leader",
@@ -598,11 +735,14 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz",
         help="seeded adversarial episodes against a live server "
              "(fault injection + linearizability + invariant audits)")
-    p_fz.add_argument("--profile", choices=("serving", "replication"),
+    p_fz.add_argument("--profile",
+                      choices=("serving", "replication", "cluster"),
                       default="serving",
                       help="serving: faulty clients against one server; "
                            "replication: a faulty replication link that "
-                           "must converge after healing")
+                           "must converge after healing; cluster: a "
+                           "seeded mid-script leader kill the topology "
+                           "manager must repair")
     p_fz.add_argument("--episodes", type=int, default=10,
                       help="number of seeded episodes (default 10)")
     p_fz.add_argument("--seed", type=int, default=0,
@@ -649,20 +789,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench",
-        help="hot-path microbenchmarks (structural memo on/off, "
-             "bulk ingest)")
-    p_bench.add_argument("target", choices=("hotpath",),
+        help="benchmark suites: hot-path microbenchmarks or cluster "
+             "read-scaling and recovery")
+    p_bench.add_argument("target", choices=("hotpath", "cluster"),
                          help="benchmark suite to run")
     p_bench.add_argument("--scale", type=int, default=1,
                          help="repetition multiplier (default 1)")
     p_bench.add_argument("--out", default=None,
-                         help="write the JSON report here")
+                         help="write the JSON report here (cluster "
+                              "default: benchmarks/out/"
+                              "cluster_scaling.json)")
     p_bench.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of a table")
     p_bench.add_argument("--check", type=float, default=None,
-                         help="exit 1 if the smallest memo speedup "
-                              "(build/merge/fingerprint) is below this "
-                              "floor (CI perf smoke)")
+                         help="hotpath: exit 1 if the smallest memo "
+                              "speedup is below this floor; cluster: "
+                              "exit 1 if the full-fanout aggregate read "
+                              "speedup is below it")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_demo = sub.add_parser("demo", help="one-minute architecture tour")

@@ -1,0 +1,166 @@
+"""Cluster benchmarks: read scaling and recovery-to-convergence.
+
+Two numbers the cluster tier exists to move, captured as a tracked JSON
+artifact (``benchmarks/out/cluster_scaling.json``):
+
+* **read scaling** — aggregate snapshot-read throughput as followers
+  are added. Because snapshot reads are synchronization-free, a
+  follower's read capacity is independent of its siblings'; this host
+  runs the whole fleet on one event loop (and typically one core), so
+  concurrent endpoints would timeshare the core and hide exactly the
+  effect being measured. Each endpoint is therefore measured **in
+  isolation** and the aggregate is the sum — the standard
+  fleet-capacity model for nodes that would each own a machine. The
+  JSON says so explicitly (``note``).
+* **recovery** — wall-clock seconds from leader crash-stop to the
+  topology manager's *committed* repair, which by construction includes
+  fleet-wide fingerprint convergence (verify gates commit).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.manager import TopologyManager
+from repro.net.loadgen import read_value_response, set_request
+
+CRLF = b"\r\n"
+
+#: The artifact's schema version (bump on shape changes).
+SCHEMA = 1
+
+
+async def _fill(host: str, port: int, count: int,
+                value_bytes: int = 32) -> List[bytes]:
+    """Seed a corpus through one leader endpoint; returns the keys."""
+    keys = [b"bench:k%04d" % i for i in range(count)]
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for i, key in enumerate(keys):
+            value = (b"val-%04d." % (i % 7)).ljust(value_bytes, b"x")
+            writer.write(set_request(key, value))
+        await writer.drain()
+        for _ in keys:
+            await reader.readline()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    return keys
+
+
+async def _measure_reads(endpoint: Tuple[str, int], keys: List[bytes],
+                         ops: int, pipeline: int = 16) -> float:
+    """Pipelined-get throughput (ops/s) against one endpoint."""
+    host, port = endpoint
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        done = 0
+        started = time.monotonic()
+        while done < ops:
+            batch = [keys[(done + i) % len(keys)]
+                     for i in range(min(pipeline, ops - done))]
+            writer.write(b"".join(b"get %s\r\n" % key for key in batch))
+            await writer.drain()
+            for key in batch:
+                values = await read_value_response(reader)
+                if key not in values:
+                    raise AssertionError("bench read missed %r" % key)
+            done += len(batch)
+        elapsed = time.monotonic() - started
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    return done / max(1e-9, elapsed)
+
+
+async def _read_scaling(scale: int,
+                        follower_counts: Sequence[int]) -> Dict:
+    """One leader, max(follower_counts) followers, per-endpoint reads."""
+    fanout = max(follower_counts)
+    corpus = 64 * scale
+    ops = 600 * scale
+    cluster = Cluster(ClusterConfig(leaders=1, followers=fanout, shards=2))
+    async with cluster:
+        leader = cluster.leaders["lead-0"]
+        keys = await _fill(leader.host, leader.port, corpus)
+        assert await cluster.wait_converged("lead-0", timeout=30.0), \
+            "fleet never converged before read measurement"
+        leader_rate = await _measure_reads((leader.host, leader.port),
+                                           keys, ops)
+        follower_rates = []
+        for follower_id in sorted(cluster.followers):
+            node = cluster.followers[follower_id]
+            follower_rates.append(
+                await _measure_reads((node.host, node.port), keys, ops))
+    aggregate = {
+        str(n): round(sum(follower_rates[:n]), 1)
+        for n in follower_counts
+    }
+    speedup = sum(follower_rates[:fanout]) / max(1e-9, leader_rate)
+    return {
+        "single_node_ops_s": round(leader_rate, 1),
+        "aggregate_by_followers": aggregate,
+        "speedup_%d" % fanout: round(speedup, 2),
+        "read_ops_per_endpoint": ops,
+    }
+
+
+async def _recovery(scale: int) -> Dict:
+    """Kill a leader mid-write-stream; time the committed repair."""
+    cluster = Cluster(ClusterConfig(leaders=2, followers=2, shards=2))
+    manager = TopologyManager(cluster, probe_interval=0.05,
+                              failure_threshold=2, verify_timeout=30.0)
+    writes = 40 * scale
+    try:
+        await cluster.start()
+        victim = "lead-0"
+        node = cluster.leaders[victim]
+        await _fill(node.host, node.port, writes)
+        other = cluster.leaders["lead-1"]
+        await _fill(other.host, other.port, writes)
+        assert await cluster.wait_converged(victim, timeout=30.0)
+        epoch_before = cluster.topology.epoch
+        await manager.start()
+        killed_at = time.monotonic()
+        await cluster.kill(victim)
+        while cluster.metrics.epoch == epoch_before:
+            if time.monotonic() - killed_at > 60.0:
+                raise AssertionError("repair never committed")
+            await asyncio.sleep(0.01)
+        elapsed = time.monotonic() - killed_at
+    finally:
+        await manager.stop()
+        await cluster.stop()
+    return {
+        "seconds_to_convergence": round(elapsed, 3),
+        "epoch": cluster.metrics.epoch,
+        "promotions": cluster.metrics.promotions,
+        "manager_recovery_seconds":
+            round(cluster.metrics.last_recovery_seconds, 3),
+    }
+
+
+def run_cluster_bench(scale: int = 1,
+                      follower_counts: Sequence[int] = (1, 2, 4)) -> Dict:
+    """The whole cluster benchmark; returns the JSON-ready document."""
+    read_scaling = asyncio.run(_read_scaling(scale, follower_counts))
+    recovery = asyncio.run(_recovery(scale))
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "read_scaling": read_scaling,
+        "recovery": recovery,
+        "note": ("aggregate read throughput sums per-endpoint rates "
+                 "measured in isolation (single-process harness shares "
+                 "one core; nodes would each own a machine in a real "
+                 "deployment)"),
+    }

@@ -1,0 +1,56 @@
+"""Cluster-tier accounting: topology health, repairs, and routing.
+
+Mirrors :class:`repro.replication.metrics.ReplicationMetrics` in shape —
+a plain counter dataclass with a JSON-safe :meth:`snapshot` — so the obs
+adapter (:func:`repro.obs.adapters.register_cluster`) can expose it as
+live callback-backed instruments without a parallel bookkeeping path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ClusterMetrics:
+    """Counters for one cluster (shared by harness + topology manager)."""
+
+    #: current committed topology epoch
+    epoch: int = 0
+    #: completed detect→propose→verify→commit repairs
+    promotions: int = 0
+    #: repairs that could not complete (no candidate / verify timeout,
+    #: counted once per abandoned attempt; retried attempts recount)
+    repairs_failed: int = 0
+    #: health probes sent / failed (all leaders, all ticks)
+    probes: int = 0
+    probe_failures: int = 0
+    #: followers re-pointed at a new leader during repairs
+    reparents: int = 0
+    #: MOVED responses served by stale-epoch leaders (summed on sample)
+    moved_total: int = 0
+    #: wall-clock seconds of the most recent kill→convergence repair
+    last_recovery_seconds: float = 0.0
+    #: most recent per-node replication lag sample, in commits
+    node_lag: Dict[str, int] = field(default_factory=dict)
+
+    def observe_lag(self, node_id: str, lag: int) -> None:
+        self.node_lag[node_id] = lag
+
+    def forget_node(self, node_id: str) -> None:
+        self.node_lag.pop(node_id, None)
+
+    def snapshot(self) -> Dict:
+        """JSON-safe snapshot (CLI status output, fuzz traces, tests)."""
+        return {
+            "epoch": self.epoch,
+            "promotions": self.promotions,
+            "repairs_failed": self.repairs_failed,
+            "probes": self.probes,
+            "probe_failures": self.probe_failures,
+            "reparents": self.reparents,
+            "moved_total": self.moved_total,
+            "last_recovery_seconds": self.last_recovery_seconds,
+            "node_lag": dict(sorted(self.node_lag.items())),
+        }

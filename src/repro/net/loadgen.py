@@ -17,6 +17,16 @@ verifying as it goes:
 
 The :class:`LoadgenReport` mirrors the server's metrics block from the
 client side: ops/s, batch-RTT percentiles, hit/miss and CAS outcomes.
+
+Fleet mode: the generator can drive **multiple endpoints** through a
+routing policy — writes to a writer endpoint, plain ``get`` traffic
+spread across read replicas (:class:`ReadSplitPolicy`, or the cluster
+tier's topology-aware policy). Replica reads are snapshot reads that may
+lag the writer, so the oracle check relaxes to *write-history*
+membership: a returned value must be something this client actually
+wrote (stale-but-legal is counted separately as ``stale_reads``, and the
+final read-back always goes to the writer, strictly). The default
+single-endpoint path is unchanged, byte for byte, report for report.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ import asyncio
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.metrics import latency_summary
 
@@ -49,6 +59,10 @@ class LoadgenReport:
     oracle_mismatches: int = 0
     shared_checked: int = 0
     shared_mismatches: int = 0
+    #: replica reads that returned an older-but-legal value (fleet mode)
+    stale_reads: int = 0
+    #: endpoints driven (1 = classic single-server mode)
+    endpoints: int = 1
     batch_rtts_ms: List[float] = field(default_factory=list)
 
     @property
@@ -65,7 +79,7 @@ class LoadgenReport:
 
     def as_dict(self) -> Dict:
         """JSON-safe summary."""
-        return {
+        out = {
             "clients": self.clients,
             "ops": self.ops,
             "wall_seconds": round(self.wall_seconds, 3),
@@ -82,6 +96,12 @@ class LoadgenReport:
             "shared_mismatches": self.shared_mismatches,
             "batch_rtt": self.latency(),
         }
+        if self.endpoints > 1:
+            # fleet mode only — the single-endpoint JSON stays
+            # byte-compatible with every report ever written
+            out["endpoints"] = self.endpoints
+            out["stale_reads"] = self.stale_reads
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +136,49 @@ def set_request(key: bytes, value: bytes) -> bytes:
 
 
 # ----------------------------------------------------------------------
+# routing policies (fleet mode)
+
+
+class SingleEndpointPolicy:
+    """Everything to endpoint 0 — the classic single-server path."""
+
+    #: strict oracle: every read must return the last written value
+    relaxed_reads = False
+
+    def write_endpoint(self, key: bytes) -> int:
+        return 0
+
+    def read_endpoint(self, key: bytes) -> int:
+        return 0
+
+
+class ReadSplitPolicy:
+    """One writer endpoint; plain reads round-robin the replicas.
+
+    ``gets`` (CAS-token acquisition) counts as part of a
+    read-modify-write cycle and goes to the writer — a token learned
+    from a lagging replica would just burn a legal-but-useless CAS
+    conflict.
+    """
+
+    relaxed_reads = True
+
+    def __init__(self, writer: int = 0,
+                 readers: Optional[List[int]] = None) -> None:
+        self.writer = writer
+        self.readers = list(readers) if readers else [writer]
+        self._rr = 0
+
+    def write_endpoint(self, key: bytes) -> int:
+        return self.writer
+
+    def read_endpoint(self, key: bytes) -> int:
+        endpoint = self.readers[self._rr % len(self.readers)]
+        self._rr += 1
+        return endpoint
+
+
+# ----------------------------------------------------------------------
 # one client
 
 
@@ -125,9 +188,15 @@ class LoadgenClient:
     def __init__(self, cid: int, host: str, port: int, ops: int,
                  pipeline_depth: int, get_ratio: float, key_space: int,
                  value_bytes: int, seed: int,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 endpoints: Optional[List[Tuple[str, int]]] = None,
+                 policy=None) -> None:
         self.cid = cid
         self.host, self.port = host, port
+        #: (host, port) per endpoint index; the policy routes into this
+        self.endpoints = list(endpoints) if endpoints else [(host, port)]
+        self.policy = policy if policy is not None \
+            else SingleEndpointPolicy()
         #: injectable time source (same discipline as ServerMetrics.clock)
         #: so RTT measurements are deterministic under a testing clock
         self.clock = clock
@@ -138,8 +207,12 @@ class LoadgenClient:
         self.value_bytes = value_bytes
         self.rng = random.Random((seed << 16) | cid)
         self.oracle: Dict[bytes, bytes] = {}
+        #: every value this client ever stored per key — the legal set
+        #: for relaxed (replica-lag-aware) read checking
+        self.history: Dict[bytes, Set[bytes]] = {}
         self.shared_committed: Dict[bytes, Set[bytes]] = {}
-        self.report = LoadgenReport(clients=1)
+        self.report = LoadgenReport(clients=1,
+                                    endpoints=len(self.endpoints))
         self._seq = 0
         self._cas_tokens: Dict[bytes, bytes] = {}
         self._cas_values: Dict[Tuple[bytes, bytes], bytes] = {}
@@ -189,33 +262,53 @@ class LoadgenClient:
                 out.append(b"%s %s\r\n" % (kind.encode(), key))
         return b"".join(out)
 
+    def _route(self, kind: str, key: bytes) -> int:
+        """Endpoint index for one op: only plain reads go to replicas."""
+        if kind == "get":
+            return self.policy.read_endpoint(key)
+        return self.policy.write_endpoint(key)
+
     async def run(self) -> LoadgenReport:
-        reader, writer = await asyncio.open_connection(self.host, self.port)
+        conns = [await asyncio.open_connection(host, port)
+                 for host, port in self.endpoints]
         report = self.report
         issued = 0
         try:
             while issued < self.ops:
                 batch = self._plan_batch(min(self.pipeline_depth,
                                              self.ops - issued))
-                request = self._encode(batch)
+                # route, then group per endpoint preserving op order —
+                # the single-endpoint case degenerates to the original
+                # one-buffer-one-syscall pipeline, byte for byte
+                grouped: Dict[int, List] = {}
+                for op in batch:
+                    grouped.setdefault(self._route(op[0], op[1]),
+                                       []).append(op)
                 started = self.clock()
-                writer.write(request)
-                await writer.drain()
-                for kind, key, extra in batch:
-                    await self._consume(reader, kind, key, extra)
+                for endpoint in sorted(grouped):
+                    conns[endpoint][1].write(self._encode(
+                        grouped[endpoint]))
+                for endpoint in sorted(grouped):
+                    await conns[endpoint][1].drain()
+                for endpoint in sorted(grouped):
+                    for kind, key, extra in grouped[endpoint]:
+                        await self._consume(conns[endpoint][0], kind,
+                                            key, extra)
                 report.batch_rtts_ms.append(
                     (self.clock() - started) * 1000.0)
                 issued += len(batch)
                 report.ops += len(batch)
-            await self._verify_private(reader, writer)
-            writer.write(b"quit\r\n")
-            await writer.drain()
+            await self._verify_private(conns)
+            for _, writer in conns:
+                writer.write(b"quit\r\n")
+                await writer.drain()
         finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except Exception:
-                pass
+            for _, writer in conns:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except Exception:
+                    pass
         return report
 
     async def _consume(self, reader, kind: str, key: bytes,
@@ -229,7 +322,15 @@ class LoadgenClient:
                     self._cas_tokens[key] = values[key][1]
                 if key in self.oracle:
                     report.oracle_checked += 1
-                    if values[key][0] != self.oracle[key]:
+                    value = values[key][0]
+                    if value == self.oracle[key]:
+                        pass
+                    elif self.policy.relaxed_reads \
+                            and value in self.history.get(key, ()):
+                        # a lagging replica returned an older value this
+                        # client really wrote: legal, and counted
+                        report.stale_reads += 1
+                    else:
                         report.oracle_mismatches += 1
             else:
                 report.get_misses += 1
@@ -239,6 +340,7 @@ class LoadgenClient:
             if line == b"STORED" + CRLF:
                 report.stored += 1
                 self.oracle[key] = extra
+                self.history.setdefault(key, set()).add(extra)
             else:
                 report.errors += 1
         elif kind == "cas":
@@ -252,18 +354,30 @@ class LoadgenClient:
             else:
                 report.errors += 1
 
-    async def _verify_private(self, reader, writer) -> None:
-        """Pipelined read-back of every private key against the oracle."""
+    async def _verify_private(self, conns) -> None:
+        """Pipelined read-back of every private key against the oracle.
+
+        Always strict, always against the **write** endpoint — replica
+        lag never excuses the authoritative copy from matching the
+        oracle exactly.
+        """
         keys = sorted(self.oracle)
         if not keys:
             return
-        writer.write(b"".join(b"get %s\r\n" % key for key in keys))
-        await writer.drain()
+        grouped: Dict[int, List[bytes]] = {}
         for key in keys:
-            values = await read_value_response(reader)
-            self.report.oracle_checked += 1
-            if key not in values or values[key][0] != self.oracle[key]:
-                self.report.oracle_mismatches += 1
+            grouped.setdefault(self.policy.write_endpoint(key),
+                               []).append(key)
+        for endpoint in sorted(grouped):
+            reader, writer = conns[endpoint]
+            writer.write(b"".join(b"get %s\r\n" % key
+                                  for key in grouped[endpoint]))
+            await writer.drain()
+            for key in grouped[endpoint]:
+                values = await read_value_response(reader)
+                self.report.oracle_checked += 1
+                if key not in values or values[key][0] != self.oracle[key]:
+                    self.report.oracle_mismatches += 1
 
 
 # ----------------------------------------------------------------------
@@ -274,51 +388,81 @@ async def run_loadgen(host: str, port: int, clients: int = 4,
                       ops_per_client: int = 100, pipeline_depth: int = 8,
                       get_ratio: float = 0.5, key_space: int = 16,
                       value_bytes: int = 32, seed: int = 0,
-                      clock: Callable[[], float] = time.monotonic
+                      clock: Callable[[], float] = time.monotonic,
+                      endpoints: Optional[List[Tuple[str, int]]] = None,
+                      policy_factory: Optional[Callable[[], object]] = None
                       ) -> LoadgenReport:
-    """Drive ``clients`` concurrent pipelined connections; verify results."""
-    # seed the shared keyspace so gets/cas have something to race on
-    reader, writer = await asyncio.open_connection(host, port)
+    """Drive ``clients`` concurrent pipelined connections; verify results.
+
+    Fleet mode: pass ``endpoints`` (a list of ``(host, port)``; index 0
+    is the default) and a ``policy_factory`` building one routing policy
+    per client — each client needs its own (policies carry round-robin
+    state). Seeding and the final shared-keyspace verification always go
+    through each key's *write* endpoint.
+    """
+    endpoints = list(endpoints) if endpoints else [(host, port)]
+    make_policy = policy_factory if policy_factory is not None \
+        else SingleEndpointPolicy
+    route = make_policy()  # for the seed/verify phases
+
+    # group the shared keys by their write endpoint once; seeding and
+    # final verification reuse the same grouping (and connections)
+    shared_by_endpoint: Dict[int, List[bytes]] = {}
     for j in range(key_space):
-        writer.write(set_request(b"shared:k%02d" % j, b"seed"))
-    await writer.drain()
-    for _ in range(key_space):
-        await read_line_response(reader)
+        key = b"shared:k%02d" % j
+        shared_by_endpoint.setdefault(route.write_endpoint(key),
+                                      []).append(key)
+    conns = {}
+    for endpoint in sorted(shared_by_endpoint):
+        conns[endpoint] = await asyncio.open_connection(
+            *endpoints[endpoint])
+    # seed the shared keyspace so gets/cas have something to race on
+    for endpoint, keys in sorted(shared_by_endpoint.items()):
+        reader, writer = conns[endpoint]
+        for key in keys:
+            writer.write(set_request(key, b"seed"))
+        await writer.drain()
+        for _ in keys:
+            await read_line_response(reader)
 
     fleet = [LoadgenClient(cid, host, port, ops_per_client, pipeline_depth,
                            get_ratio, key_space, value_bytes, seed,
-                           clock=clock)
+                           clock=clock, endpoints=endpoints,
+                           policy=make_policy())
              for cid in range(clients)]
     started = clock()
     reports = await asyncio.gather(*(client.run() for client in fleet))
     wall = clock() - started
 
-    total = LoadgenReport(clients=clients, wall_seconds=wall)
+    total = LoadgenReport(clients=clients, wall_seconds=wall,
+                          endpoints=len(endpoints))
     committed: Dict[bytes, Set[bytes]] = {}
     for client, report in zip(fleet, reports):
         for name in ("ops", "stored", "get_hits", "get_misses", "cas_stored",
                      "cas_conflicts", "errors", "oracle_checked",
-                     "oracle_mismatches"):
+                     "oracle_mismatches", "stale_reads"):
             setattr(total, name, getattr(total, name) + getattr(report, name))
         total.batch_rtts_ms.extend(report.batch_rtts_ms)
         for key, values in client.shared_committed.items():
             committed.setdefault(key, set()).update(values)
 
-    # shared keys: the surviving value must be one somebody committed
-    for j in range(key_space):
-        key = b"shared:k%02d" % j
-        writer.write(b"get %s\r\n" % key)
-    await writer.drain()
-    for j in range(key_space):
-        key = b"shared:k%02d" % j
-        values = await read_value_response(reader)
-        total.shared_checked += 1
-        legal = committed.get(key, set()) | {b"seed"}
-        if key not in values or values[key][0] not in legal:
-            total.shared_mismatches += 1
-    writer.close()
-    try:
-        await writer.wait_closed()
-    except Exception:
-        pass
+    # shared keys: the surviving value must be one somebody committed —
+    # read from the write endpoint, where the answer is authoritative
+    for endpoint, keys in sorted(shared_by_endpoint.items()):
+        reader, writer = conns[endpoint]
+        for key in keys:
+            writer.write(b"get %s\r\n" % key)
+        await writer.drain()
+        for key in keys:
+            values = await read_value_response(reader)
+            total.shared_checked += 1
+            legal = committed.get(key, set()) | {b"seed"}
+            if key not in values or values[key][0] not in legal:
+                total.shared_mismatches += 1
+    for reader, writer in conns.values():
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
     return total

@@ -157,6 +157,17 @@ class ShardRouter:
     async def stop(self) -> None:
         """Flush pending commits, then stop the workers."""
         await self.drain()
+        await self.abort()
+
+    async def abort(self) -> None:
+        """Crash-stop: cancel the workers without draining the queues.
+
+        Enqueued-but-unapplied commits are dropped on the floor — this is
+        the cluster tier's model of a leader dying mid-stream, so it must
+        *not* flush (the whole point is that acknowledged state and
+        queued state part ways, and replication convergence is judged on
+        what actually committed).
+        """
         for worker in self._workers:
             worker.cancel()
         for worker in self._workers:

@@ -117,6 +117,25 @@ class MemcachedServer:
         await self.router.stop()
         self._server = None
 
+    async def abort(self) -> None:
+        """Crash-stop: drop connections and queued commits on the floor.
+
+        The fault-model counterpart of :meth:`shutdown` — nothing drains,
+        nothing flushes. Used by the cluster harness to kill a leader the
+        way a power cut would.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        await self.router.abort()
+
     async def __aenter__(self) -> "MemcachedServer":
         await self.start()
         return self

@@ -28,6 +28,7 @@ __all__ = [
     "register_dram_stats",
     "register_router",
     "register_memo",
+    "register_cluster",
     "legacy_server_snapshot",
     "legacy_replication_snapshot",
     "legacy_dram_dict",
@@ -168,6 +169,45 @@ def register_memo(registry: MetricsRegistry, memo,
                    labels=("table",), fn=memo.sizes)
     registry.gauge(prefix + "enabled", "1 when the memo serves hits",
                    fn=lambda: int(memo.enabled))
+
+
+CLUSTER_COUNTER_FIELDS = (
+    "promotions", "repairs_failed", "probes", "probe_failures",
+    "reparents", "moved_total",
+)
+
+CLUSTER_PREFIX = "repro_cluster_"
+
+
+def register_cluster(registry: MetricsRegistry, cluster,
+                     prefix: str = CLUSTER_PREFIX) -> None:
+    """Expose a live :class:`~repro.cluster.cluster.Cluster` (via its
+    :class:`~repro.cluster.metrics.ClusterMetrics`) through ``registry``.
+
+    Same callback-instrument idiom as the other silos: the metrics
+    dataclass stays the single source of truth the harness and topology
+    manager bump inline; the registry reads it live at collection time.
+    """
+    metrics = cluster.metrics
+    registry.gauge(prefix + "epoch", "committed topology epoch",
+                   fn=lambda: metrics.epoch)
+    for name in CLUSTER_COUNTER_FIELDS:
+        registry.counter(prefix + name + "_total", "cluster %s" % name,
+                         fn=_field_reader(metrics, name))
+    registry.gauge(prefix + "last_recovery_seconds",
+                   "wall time of the most recent committed repair",
+                   fn=lambda: round(metrics.last_recovery_seconds, 6))
+    registry.gauge(prefix + "node_lag",
+                   "follower lag behind its leader, in commits",
+                   labels=("node",),
+                   fn=lambda: dict(sorted(metrics.node_lag.items())))
+    registry.gauge(prefix + "live_leaders", "leaders currently serving",
+                   fn=lambda: len(cluster.leaders))
+    registry.gauge(prefix + "live_followers",
+                   "followers currently serving",
+                   fn=lambda: len(cluster.followers))
+    registry.gauge(prefix + "dead_nodes", "crash-stopped leaders",
+                   fn=lambda: len(cluster.dead))
 
 
 def register_router(registry: MetricsRegistry, router) -> None:

@@ -111,6 +111,20 @@ class ReplicationFollower:
         return {stream: dag.segment_fingerprint(self.machine, vsid)
                 for stream, vsid in self.streams.items()}
 
+    def reparent(self, host: str, port: int) -> None:
+        """Point this follower at a different leader.
+
+        Aborts the live link (if any); the reconnect loop then dials the
+        new address with a fresh HELLO carrying our fingerprints, so a
+        new leader holding identical content SEEDs us without reshipping
+        a single line — promotion inherits the warm-start economics.
+        """
+        self.host = host
+        self.port = port
+        writer = self._writer
+        if writer is not None and writer.transport is not None:
+            writer.transport.abort()
+
     def _release_translations(self) -> None:
         for local in self.plid_map.values():
             self.machine.mem.decref(local)
@@ -402,6 +416,28 @@ class FollowerServer:
         self.handler = ProtocolHandler(self.backend)
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set = set()
+        #: bumped by :meth:`set_upstream`; connections drop their cached
+        #: upstream link when their generation falls behind
+        self._upstream_gen = 0
+
+    def set_upstream(self, host: str, port: int) -> None:
+        """Re-point write forwarding (a follower re-parented mid-life).
+
+        Live connections notice via the generation counter on their next
+        forward and re-dial instead of pushing writes at the old leader.
+        """
+        self.upstream_host = host
+        self.upstream_port = port
+        self._upstream_gen += 1
+
+    def handle_local(self, frame) -> bytes:
+        """Answer one locally-served (non-write) frame.
+
+        Subclass hook: the cluster tier's follower front intercepts
+        ``cluster ...`` frames here and defers everything else to the
+        plain snapshot-read handler.
+        """
+        return self.handler.handle(frame.raw)
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -424,7 +460,8 @@ class FollowerServer:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
         decoder = FrameDecoder()
-        upstream = None  # (reader, writer), opened on first write command
+        # (generation, reader, writer), opened on first write command
+        upstream = None
         try:
             while True:
                 data = await reader.read(READ_CHUNK)
@@ -444,7 +481,7 @@ class FollowerServer:
                             upstream, frame.raw)
                         writer.write(response)
                     else:
-                        writer.write(self.handler.handle(frame.raw))
+                        writer.write(self.handle_local(frame))
                 await writer.drain()
                 if quit_seen:
                     break
@@ -454,7 +491,7 @@ class FollowerServer:
         finally:
             self._conn_tasks.discard(task)
             if upstream is not None:
-                upstream[1].close()
+                upstream[2].close()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -469,10 +506,15 @@ class FollowerServer:
         in-order on the shared upstream connection.
         """
         try:
+            if upstream is not None and upstream[0] != self._upstream_gen:
+                # re-parented since this connection cached its link
+                upstream[2].close()
+                upstream = None
             if upstream is None:
-                upstream = await asyncio.open_connection(
+                up_reader, up_writer = await asyncio.open_connection(
                     self.upstream_host, self.upstream_port)
-            up_reader, up_writer = upstream
+                upstream = (self._upstream_gen, up_reader, up_writer)
+            _, up_reader, up_writer = upstream
             up_writer.write(raw)
             await up_writer.drain()
             response = await up_reader.readline()
@@ -481,5 +523,5 @@ class FollowerServer:
             return upstream, response
         except (ConnectionError, OSError):
             if upstream is not None:
-                upstream[1].close()
+                upstream[2].close()
             return None, b"SERVER_ERROR leader unavailable\r\n"

@@ -135,9 +135,16 @@ class ReplicationLeader:
         return out
 
     async def start(self) -> None:
-        """Hook the router and the store, then accept followers."""
+        """Hook the router, then accept followers.
+
+        The commit listener is leader-wide (one callback per applied
+        batch, fanned out to sessions); dealloc listeners are
+        **per-session** — attached when a follower finishes its
+        handshake, detached in the session's teardown path — so a fleet
+        of reconnecting followers cannot accumulate dead callbacks on
+        the store's hot dealloc path.
+        """
         self.router.commit_listeners.append(self._on_commit)
-        self.machine.mem.store.dealloc_listeners.append(self._on_dealloc)
         self._server = await asyncio.start_server(
             self._serve_follower, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -157,9 +164,18 @@ class ReplicationLeader:
         listeners = self.router.commit_listeners
         if self._on_commit in listeners:
             listeners.remove(self._on_commit)
+        # session teardown already detached these; sweep defensively so
+        # stop() leaves the store clean even after an unwound handshake
+        for session in list(self._sessions):
+            self._detach_session(session)
+
+    def _detach_session(self, session: "FollowerSession") -> None:
+        """Deregister one session everywhere it was hooked in."""
+        if session in self._sessions:
+            self._sessions.remove(session)
         dealloc = self.machine.mem.store.dealloc_listeners
-        if self._on_dealloc in dealloc:
-            dealloc.remove(self._on_dealloc)
+        if session.on_dealloc in dealloc:
+            dealloc.remove(session.on_dealloc)
 
     # ------------------------------------------------------------------
     # router / store hooks (synchronous, never block)
@@ -169,10 +185,6 @@ class ReplicationLeader:
         self.metrics.commits_observed += commits
         for session in self._sessions:
             session.mark_dirty(shard)
-
-    def _on_dealloc(self, plid: int) -> None:
-        for session in self._sessions:
-            session.on_dealloc(plid)
 
     # ------------------------------------------------------------------
     # follower connections
@@ -194,6 +206,8 @@ class ReplicationLeader:
             self._send(session, wire.WELCOME, wire.encode_json_payload(
                 wire.welcome_doc(mem.line_bytes, mem.fanout, streams)))
             self._sessions.append(session)
+            self.machine.mem.store.dealloc_listeners.append(
+                session.on_dealloc)
             follower_fps = {int(s): bytes.fromhex(fp)
                             for s, fp in hello.get("streams", {}).items()}
             self._initial_sync(session, streams, follower_fps)
@@ -217,8 +231,7 @@ class ReplicationLeader:
                     await sender
                 except (asyncio.CancelledError, ConnectionError, OSError):
                     pass
-            if session in self._sessions:
-                self._sessions.remove(session)
+            self._detach_session(session)
             self._session_tasks.discard(task)
             writer.close()
             try:

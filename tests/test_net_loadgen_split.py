@@ -1,0 +1,110 @@
+"""Multi-endpoint loadgen: read/write split against a replicated pair.
+
+Two contracts. First, the single-endpoint path is untouched — same
+report keys, same strict oracle — so every existing consumer of the
+loadgen JSON sees byte-identical shapes. Second, fleet mode: writes pin
+to the leader, plain reads round-robin a follower fleet, and replica
+answers are judged against the write history (a lagged-but-once-written
+value is legal and counted, a never-written value is still a failure).
+"""
+
+import asyncio
+
+from repro.net.loadgen import (
+    LoadgenReport,
+    ReadSplitPolicy,
+    SingleEndpointPolicy,
+    run_loadgen,
+)
+from repro.net.server import MemcachedServer
+from repro.replication import (
+    FollowerServer,
+    ReplicationFollower,
+    ReplicationLeader,
+)
+
+
+class TestSingleEndpointCompatibility:
+    def test_report_shape_is_unchanged(self):
+        """No fleet keys leak into the classic single-server report."""
+        report = LoadgenReport()
+        doc = report.as_dict()
+        assert "endpoints" not in doc
+        assert "stale_reads" not in doc
+        fleet = LoadgenReport(endpoints=3, stale_reads=2).as_dict()
+        assert fleet["endpoints"] == 3
+        assert fleet["stale_reads"] == 2
+
+    def test_single_server_run_is_strict(self):
+        async def go():
+            server = MemcachedServer(port=0, shard_count=2)
+            await server.start()
+            try:
+                report = await run_loadgen(
+                    "127.0.0.1", server.port, clients=2,
+                    ops_per_client=40, pipeline_depth=4, key_space=8,
+                    seed=3)
+            finally:
+                await server.shutdown()
+            return report
+
+        report = asyncio.run(go())
+        assert report.consistent
+        assert report.errors == 0
+        assert report.endpoints == 1
+        assert "stale_reads" not in report.as_dict()
+
+    def test_policy_defaults(self):
+        single = SingleEndpointPolicy()
+        assert not single.relaxed_reads
+        assert single.write_endpoint(b"k") == single.read_endpoint(b"k") == 0
+        split = ReadSplitPolicy(writer=0, readers=[1, 2])
+        assert split.relaxed_reads
+        assert split.write_endpoint(b"k") == 0
+        assert [split.read_endpoint(b"k") for _ in range(4)] == [1, 2, 1, 2]
+        # gets is a write-path operation: tokens come from the writer
+        lone = ReadSplitPolicy(writer=3)
+        assert lone.read_endpoint(b"k") == 3
+
+
+class TestReadSplitFleet:
+    def test_reads_spread_over_a_live_follower(self):
+        """Loadgen against leader + snapshot-serving follower: writes to
+        the leader, plain reads on the follower, zero mismatches under
+        the relaxed (write-history) oracle."""
+        async def go():
+            server = MemcachedServer(port=0, shard_count=2)
+            await server.start()
+            leader = ReplicationLeader(server.router,
+                                       heartbeat_interval=None)
+            await leader.start()
+            follower = ReplicationFollower("127.0.0.1", leader.port,
+                                           reconnect_delay=0.01)
+            await follower.start()
+            front = FollowerServer(follower, "127.0.0.1", server.port)
+            await front.start()
+            try:
+                report = await run_loadgen(
+                    "127.0.0.1", server.port, clients=2,
+                    ops_per_client=60, pipeline_depth=4, key_space=8,
+                    seed=5,
+                    endpoints=[("127.0.0.1", server.port),
+                               ("127.0.0.1", front.port)],
+                    policy_factory=lambda: ReadSplitPolicy(
+                        writer=0, readers=[1]))
+            finally:
+                await front.stop()
+                await follower.stop()
+                await leader.stop()
+                await server.shutdown()
+            return report
+
+        report = asyncio.run(go())
+        assert report.consistent, report.as_dict()
+        assert report.errors == 0
+        assert report.oracle_mismatches == 0
+        assert report.endpoints == 2
+        assert report.get_hits + report.get_misses > 0
+        doc = report.as_dict()
+        assert doc["endpoints"] == 2
+        assert doc["stale_reads"] == report.stale_reads
