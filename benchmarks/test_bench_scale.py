@@ -1,0 +1,37 @@
+"""Scale scenario bench — the serving stack at bulk, multi-process.
+
+The smoke tier of ``repro bench scale``: worker processes each run a
+full server (tenant-routing backends, bulk-commit router, real TCP
+serve phase under Zipfian skew) over a shared-nothing slice of the
+keyspace. CI runs this tier; the million-key tier is the same code via
+``repro bench scale`` (no ``--smoke``), tracked in BENCH_scale.json.
+"""
+
+import json
+
+from conftest import emit
+
+from repro.net import scale as scale_bench
+
+
+def run_smoke(scale_factor):
+    cfg = scale_bench.smoke_config(keys=4000 * scale_factor,
+                                   serve_ops=800 * scale_factor)
+    return scale_bench.run_scale(cfg)
+
+
+def test_scale_smoke(benchmark, report_dir, scale):
+    result = benchmark.pedantic(run_smoke, args=(scale,),
+                                rounds=1, iterations=1)
+    emit(report_dir, "scale_smoke",
+         scale_bench.render(result) + "\n\n"
+         + json.dumps(result, indent=2, sort_keys=True))
+    assert result["keys"] == 4000 * scale
+    assert result["populate"]["ops_per_second"] > 0
+    assert result["serve"]["ops_per_second"] > 0
+    # the serve phase really ran against a fully-populated keyspace
+    assert scale_bench.check_floor(result, floor=50.0) == []
+    # the dedup store holds less than the logical bytes written
+    assert result["footprint"]["dedup_ratio"] > 1.0
+    # every worker saw all its tenants (default namespace included)
+    assert result["tenants_per_worker"] == 9

@@ -42,6 +42,10 @@ class EvictionStats:
 class ManagedMemcached(HicampMemcached):
     """Memcached with TTL expiry and a byte quota with LRU eviction."""
 
+    #: Every store rewrites the payload (expiry header), so the router
+    #: must not coalesce runs through the header-less bulk path.
+    BULK_SAFE = False
+
     def __init__(self, machine: Machine,
                  quota_bytes: Optional[int] = None) -> None:
         super().__init__(machine)
@@ -114,6 +118,49 @@ class ManagedMemcached(HicampMemcached):
         self.set(key, b"%d" % new)
         return new
 
+    def cas(self, key: bytes, value: bytes, token: bytes,
+            exptime: int = 0) -> bool:
+        """Conditional store, with the expiry header the plain path
+        omits — without it a later :meth:`get` would unpack the first
+        eight payload bytes as a deadline."""
+        self.tick()
+        self.stats.cas_ops += 1
+        if self._token(key) != token:
+            self.stats.cas_failures += 1
+            return False
+        deadline = self.clock + exptime if exptime else _NEVER
+        self.kvp.put(key, _HEADER.pack(deadline) + value)
+        self._touch(key)
+        self._enforce_quota()
+        return True
+
+    def set_many(self, items) -> None:
+        """Bulk store (no TTL): each value gets a never-expires header.
+
+        Correct for direct callers; the router still never routes its
+        batched runs here (``BULK_SAFE`` is False) because the wire
+        frames' per-item exptimes would be lost.
+        """
+        self.tick(len(items))
+        header = _HEADER.pack(_NEVER)
+        super().set_many([(key, header + value) for key, value in items])
+        for key, _ in items:
+            self._touch(key)
+        self._enforce_quota()
+
+    def _token(self, key: bytes) -> Optional[bytes]:
+        """CAS token over the *logical* value, header excluded.
+
+        Content identity must mean value identity (the checker's spec and
+        the paper's root-compare argument); hashing the header would make
+        equal values with different deadlines look different.
+        """
+        raw = self.kvp.get(key)
+        if raw is None:
+            return None
+        import hashlib
+        return hashlib.blake2b(raw[_HEADER.size:], digest_size=8).digest()
+
     def flush_all(self) -> None:
         """Drop every item and forget the LRU chain."""
         self.tick()
@@ -142,3 +189,14 @@ class ManagedMemcached(HicampMemcached):
     def live_items(self) -> int:
         """Items currently tracked by the LRU (alive, unexpired-ish)."""
         return len(self._lru)
+
+    def extra_stats(self) -> dict:
+        """Eviction accounting on top of the base server's counters."""
+        stats = super().extra_stats()
+        stats.update({
+            "expired": self.eviction.expired,
+            "evicted": self.eviction.evicted,
+            "eviction_passes": self.eviction.eviction_passes,
+            "live_items": self.live_items(),
+        })
+        return stats

@@ -44,6 +44,11 @@ class ServerStats:
 class HicampMemcached:
     """A memcached server running directly on a HICAMP machine."""
 
+    #: Whether the router may coalesce a run of sets into one
+    #: :meth:`set_many` bulk commit. Subclasses that rewrite payloads
+    #: per-store (TTL headers) must opt out.
+    BULK_SAFE = True
+
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
         self.kvp = HMap.create(machine)

@@ -254,7 +254,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    if args.profile == "cluster":
+    if args.profile == "hi":
+        from repro.testing.hi import HIConfig, run_hi
+
+        cfg = HIConfig(schedules=args.schedules, keys=args.keys,
+                       ops=args.ops)
+        report = run_hi(episodes=args.episodes, seed=args.seed, cfg=cfg)
+    elif args.profile == "expiry":
+        from repro.testing.fuzz import expiry_config, run_fuzz
+
+        cfg = expiry_config(clients=args.clients,
+                            ops_per_client=args.ops,
+                            pipeline_depth=args.pipeline,
+                            key_space=args.keys, shards=args.shards)
+        report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
+    elif args.profile == "cluster":
         from repro.cluster.fuzz import ClusterEpisodeConfig, run_fuzz
 
         cfg = ClusterEpisodeConfig(ops=args.ops, key_space=args.keys,
@@ -514,6 +528,36 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.net import scale
+
+    if args.smoke:
+        cfg = scale.smoke_config(seed=args.seed)
+    else:
+        cfg = scale.ScaleConfig(seed=args.seed)
+    if args.keys:
+        cfg.keys = args.keys
+    if args.workers:
+        cfg.workers = args.workers
+    result = scale.run_scale(cfg)
+    out = args.out or scale.DEFAULT_OUT
+    scale.write_result(result, out)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(scale.render(result))
+        print("  -> %s" % out)
+    if args.check is not None:
+        problems = scale.check_floor(result, args.check)
+        for problem in problems:
+            print("bench scale: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -522,6 +566,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.target == "cluster":
         return _cmd_bench_cluster(args)
+    if args.target == "scale":
+        return _cmd_bench_scale(args)
     report = run_hotpath(scale=args.scale)
     if args.out:
         out = pathlib.Path(args.out)
@@ -736,13 +782,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded adversarial episodes against a live server "
              "(fault injection + linearizability + invariant audits)")
     p_fz.add_argument("--profile",
-                      choices=("serving", "replication", "cluster"),
+                      choices=("serving", "replication", "cluster",
+                               "expiry", "hi"),
                       default="serving",
                       help="serving: faulty clients against one server; "
                            "replication: a faulty replication link that "
                            "must converge after healing; cluster: a "
                            "seeded mid-script leader kill the topology "
-                           "manager must repair")
+                           "manager must repair; expiry: TTL'd sets "
+                           "under commit stalls (expired keys must not "
+                           "resurrect); hi: differential history "
+                           "independence over permuted schedules")
     p_fz.add_argument("--episodes", type=int, default=10,
                       help="number of seeded episodes (default 10)")
     p_fz.add_argument("--seed", type=int, default=0,
@@ -757,6 +807,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fz.add_argument("--keys", type=int, default=8,
                       help="shared keyspace size (contention)")
     p_fz.add_argument("--shards", type=int, default=2)
+    p_fz.add_argument("--schedules", type=int, default=20,
+                      help="hi profile: permuted schedules per workload "
+                           "(default 20)")
     p_fz.add_argument("--verbose", action="store_true",
                       help="print the full trace of passing episodes too")
     p_fz.set_defaults(func=_cmd_fuzz)
@@ -791,10 +844,22 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="benchmark suites: hot-path microbenchmarks or cluster "
              "read-scaling and recovery")
-    p_bench.add_argument("target", choices=("hotpath", "cluster"),
+    p_bench.add_argument("target",
+                         choices=("hotpath", "cluster", "scale"),
                          help="benchmark suite to run")
     p_bench.add_argument("--scale", type=int, default=1,
                          help="repetition multiplier (default 1)")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="scale: CI tier (20k keys, seconds "
+                              "instead of minutes)")
+    p_bench.add_argument("--keys", type=int, default=0,
+                         help="scale: total keys across workers "
+                              "(default 1M, or 20k with --smoke)")
+    p_bench.add_argument("--workers", type=int, default=0,
+                         help="scale: worker processes (default 4, "
+                              "or 2 with --smoke)")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="scale: workload seed")
     p_bench.add_argument("--out", default=None,
                          help="write the JSON report here (cluster "
                               "default: benchmarks/out/"
@@ -805,7 +870,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="hotpath: exit 1 if the smallest memo "
                               "speedup is below this floor; cluster: "
                               "exit 1 if the full-fanout aggregate read "
-                              "speedup is below it")
+                              "speedup is below it; scale: exit 1 if "
+                              "populate ops/s falls below it (or any "
+                              "serve-phase error/miss)")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_demo = sub.add_parser("demo", help="one-minute architecture tour")

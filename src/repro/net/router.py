@@ -124,10 +124,24 @@ class ShardRouter:
         if structural_memo:
             self.machine.mem.memo.enable()
         adapters.register_memo(self.registry, self.machine.mem.memo)
+        # the per-backend silos some subclasses add: eviction accounting
+        # (ManagedMemcached) and per-tenant namespaces (TenantMemcached)
+        # read through the registry like every other silo
+        if all(hasattr(s, "eviction") for s in self.servers):
+            adapters.register_eviction(
+                self.registry, [s.eviction for s in self.servers])
+        if all(hasattr(s, "tenants") for s in self.servers):
+            adapters.register_tenants(self.registry, self.servers)
         # batched merge-commits stage through HMap.put_steps, which only
-        # matches plain backends (a TTL backend rewrites the payload)
+        # matches plain backends (a TTL backend rewrites the payload);
+        # bulk commits go through set_many, which any BULK_SAFE backend
+        # (plain or tenant-routed) supports
         self._merge_batches = all(type(s) is HicampMemcached
                                   for s in self.servers)
+        bulk_safe = all(getattr(type(s), "BULK_SAFE", False)
+                        for s in self.servers)
+        self._batch_runs = (self._merge_batches if commit_mode == "merge"
+                            else bulk_safe)
         self.queues: List["asyncio.Queue"] = []
         self._workers: List["asyncio.Task"] = []
         #: callbacks fired as ``listener(shard, vsid, commits)`` after a
@@ -345,7 +359,7 @@ class ShardRouter:
         pending = list(batch)
         while pending:
             run, keys = [], set()
-            while pending and self._merge_batches:
+            while pending and self._batch_runs:
                 frame, _, _ = pending[0]
                 if (frame.command == b"set" and frame.payload is not None
                         and frame.key not in keys):

@@ -29,9 +29,12 @@ __all__ = [
     "register_router",
     "register_memo",
     "register_cluster",
+    "register_eviction",
+    "register_tenants",
     "legacy_server_snapshot",
     "legacy_replication_snapshot",
     "legacy_dram_dict",
+    "legacy_eviction_snapshot",
 ]
 
 # ServerMetrics scalar fields, split by Prometheus kind. Keep in sync
@@ -208,6 +211,80 @@ def register_cluster(registry: MetricsRegistry, cluster,
                    fn=lambda: len(cluster.followers))
     registry.gauge(prefix + "dead_nodes", "crash-stopped leaders",
                    fn=lambda: len(cluster.dead))
+
+
+# EvictionStats scalar fields; legacy_eviction_snapshot() reconstructs
+# ``dataclasses.asdict(stats)`` from these, and tests assert the round
+# trip — a field added to EvictionStats without its registration here
+# fails loudly, same contract as the other silos.
+EVICTION_COUNTER_FIELDS = ("expired", "evicted", "eviction_passes")
+
+EVICTION_PREFIX = "repro_eviction_"
+
+
+def register_eviction(registry: MetricsRegistry, stats,
+                      prefix: str = EVICTION_PREFIX) -> None:
+    """Expose live :class:`~repro.apps.memcached.eviction.EvictionStats`.
+
+    ``stats`` is one silo or a per-shard list; each field becomes one
+    shard-labeled counter read off the live dataclass at collection
+    time (the eviction hot path keeps bumping plain fields inline).
+    """
+    silos = list(stats) if isinstance(stats, (list, tuple)) else [stats]
+    for name in EVICTION_COUNTER_FIELDS:
+        registry.counter(
+            prefix + name + "_total", "eviction %s" % name,
+            labels=("shard",),
+            fn=lambda silos=silos, name=name: {
+                str(i): getattr(s, name) for i, s in enumerate(silos)})
+
+
+def legacy_eviction_snapshot(registry: MetricsRegistry, shard: int = 0,
+                             prefix: str = EVICTION_PREFIX) -> Dict:
+    """Rebuild one shard's ``dataclasses.asdict(EvictionStats)`` from
+    registry reads."""
+    return {name: registry.get(prefix + name + "_total")
+            .snapshot_value()[str(shard)]
+            for name in EVICTION_COUNTER_FIELDS}
+
+
+def register_tenants(registry: MetricsRegistry, servers,
+                     prefix: str = "repro_tenant_") -> None:
+    """Expose per-tenant namespaces of
+    :class:`~repro.apps.memcached.tenants.TenantMemcached` backends.
+
+    ``servers`` is one backend or the router's per-shard list; counts
+    are summed across shards per tenant, read live at collection time.
+    """
+    backends = list(servers) if isinstance(servers, (list, tuple)) \
+        else [servers]
+
+    def _sum(field):
+        totals: Dict[str, int] = {}
+        for server in backends:
+            for tenant, tstats in server.tenant_stats.items():
+                label = tenant.decode("ascii", "replace")
+                totals[label] = totals.get(label, 0) \
+                    + getattr(tstats, field)
+        return totals
+
+    def _items():
+        totals: Dict[str, int] = {}
+        for server in backends:
+            for tenant, count in server.items_by_tenant().items():
+                label = tenant.decode("ascii", "replace")
+                totals[label] = totals.get(label, 0) + count
+        return totals
+
+    registry.gauge(prefix + "items", "stored items per tenant namespace",
+                   labels=("tenant",), fn=_items)
+    registry.gauge(prefix + "namespaces", "distinct tenant namespaces",
+                   fn=lambda: len({t for s in backends
+                                   for t in s.tenants}))
+    for field in ("gets", "get_hits", "sets", "deletes"):
+        registry.counter(prefix + field + "_total",
+                         "tenant %s" % field, labels=("tenant",),
+                         fn=lambda field=field: _sum(field))
 
 
 def register_router(registry: MetricsRegistry, router) -> None:

@@ -18,7 +18,11 @@ package is that checker, in three layers:
   content-uniqueness, segment-map root validity.
 
 :mod:`repro.testing.fuzz` composes them into seeded adversarial
-episodes (the ``repro fuzz`` CLI subcommand), and
+episodes (the ``repro fuzz`` CLI subcommand),
+:mod:`repro.testing.hi` verifies **history independence**
+differentially — permuted/batched/merge-staged schedules of one seeded
+workload must produce byte-identical canonical roots, fingerprints and
+footprints (``repro fuzz --profile hi``) — and
 :mod:`repro.testing.fixtures` exposes the auditors and injector as
 reusable pytest fixtures.
 """
@@ -45,8 +49,18 @@ from repro.testing.fuzz import (
     EpisodeResult,
     FuzzReport,
     episode_seed,
+    expiry_config,
     run_episode,
     run_fuzz,
+)
+from repro.testing.hi import (
+    HIConfig,
+    HIEpisodeResult,
+    HIReport,
+    generate_workload,
+    run_hi,
+    run_hi_episode,
+    verify_structure,
 )
 from repro.testing.history import (
     UNMATCHABLE,
@@ -62,7 +76,9 @@ __all__ = [
     "COMMIT_STALL", "CONN_RESET", "FLUSH_DELAY", "READ_SPLIT",
     "WRITE_SPLIT", "FaultInjector", "FaultPlan", "InjectedReset",
     "EpisodeConfig", "EpisodeResult", "FuzzReport", "episode_seed",
-    "run_episode", "run_fuzz",
+    "expiry_config", "run_episode", "run_fuzz",
+    "HIConfig", "HIEpisodeResult", "HIReport", "generate_workload",
+    "run_hi", "run_hi_episode", "verify_structure",
     "UNMATCHABLE", "HistoryRecorder", "LinearizabilityReport",
     "Operation", "check_history",
 ]

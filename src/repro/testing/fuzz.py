@@ -29,7 +29,7 @@ import asyncio
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.machine import Machine
 from repro.net.server import MemcachedServer
@@ -62,6 +62,13 @@ class EpisodeConfig:
     batch_limit: int = 4
     max_stall: int = 6
     rates: Optional[Dict[str, float]] = None
+    #: fraction of planned sets that carry a seeded small TTL (the
+    #: ``expiry`` profile: expired keys must never resurrect, even when
+    #: injected commit stalls delay the deleting/storing commits)
+    ttl_rate: float = 0.0
+    #: alternative backend factory for the server under test (the
+    #: ``expiry`` profile runs against ManagedMemcached); None = plain
+    backend: Optional[Callable] = None
 
 
 # ----------------------------------------------------------------------
@@ -81,6 +88,8 @@ def _build_script(seed: int, cid: int,
     Pure function of the seed — the scripts are part of the episode
     trace. ``cas`` is only planned for keys the plan has already
     ``gets``-ed, so every cas has a deterministic source for its token.
+    With ``ttl_rate`` set, a planned set may become ``setx<N>`` — a set
+    carrying TTL ``N`` (in the managed backend's logical ticks).
     """
     rng = random.Random(_derive(seed, "script/%d" % cid))
     tokened = set()
@@ -90,6 +99,8 @@ def _build_script(seed: int, cid: int,
         roll = rng.random()
         if roll < 0.40:
             kind = "set"
+            if cfg.ttl_rate and rng.random() < cfg.ttl_rate:
+                kind = "setx%d" % rng.randrange(1, 9)
         elif roll < 0.65:
             kind = "get"
         elif roll < 0.80:
@@ -170,17 +181,23 @@ class RecordingClient:
         return b"v%d.%d" % (self.cid, self._value_seq)
 
     def _encode(self, kind: str, key: bytes):
-        """Wire bytes plus the recorder fields for one planned op."""
-        if kind == "set":
+        """Wire bytes plus recorder fields for one planned op: returns
+        ``(wire, recorded kind, value, expect, ttl)`` — a planned
+        ``setx<N>`` goes on the wire as a set with exptime N and is
+        recorded as a ``set`` with ``ttl=N``."""
+        if kind == "set" or kind.startswith("setx"):
+            ttl = int(kind[4:]) if kind.startswith("setx") else 0
             value = self._fresh_value()
-            return (b"set %s 0 0 %d\r\n%s\r\n" % (key, len(value), value),
-                    value, None)
+            return (b"set %s 0 %d %d\r\n%s\r\n"
+                    % (key, ttl, len(value), value),
+                    "set", value, None, ttl)
         if kind == "cas":
             value = self._fresh_value()
             token, expect = self._tokens.get(key, (b"0", UNMATCHABLE))
             return (b"cas %s 0 0 %d %s\r\n%s\r\n"
-                    % (key, len(value), token, value), value, expect)
-        return (b"%s %s\r\n" % (kind.encode(), key), None, None)
+                    % (key, len(value), token, value),
+                    "cas", value, expect, 0)
+        return (b"%s %s\r\n" % (kind.encode(), key), kind, None, None, 0)
 
     async def _consume(self, op) -> None:
         """Read and record one op's response; raises on disconnect."""
@@ -218,11 +235,12 @@ class RecordingClient:
                 ops = []
                 parts = []
                 for kind, key in batch:
-                    wire, value, expect = self._encode(kind, key)
+                    wire, recorded, value, expect, ttl = \
+                        self._encode(kind, key)
                     parts.append(wire)
                     ops.append(self.recorder.invoke(
-                        self.cid, self._seq, kind, key,
-                        value=value, expect=expect))
+                        self.cid, self._seq, recorded, key,
+                        value=value, expect=expect, ttl=ttl))
                     self._seq += 1
                 self.writer.write(b"".join(parts))
                 await self.writer.drain()
@@ -300,10 +318,12 @@ async def _run_episode(seed: int, cfg: EpisodeConfig,
     plan = FaultPlan(seed, rates, max_stall=cfg.max_stall)
     injector = FaultInjector(plan)
     machine = Machine()
+    backend_kwargs = {} if cfg.backend is None \
+        else {"backend_factory": cfg.backend}
     server = MemcachedServer(
         port=0, machine=machine, shard_count=cfg.shards,
         batch_limit=cfg.batch_limit, injector=injector,
-        recorder=trace_recorder)
+        recorder=trace_recorder, **backend_kwargs)
     recorder = HistoryRecorder()
     scripts = [_build_script(seed, cid, cfg) for cid in range(cfg.clients)]
 
@@ -425,3 +445,23 @@ def run_fuzz(episodes: int = 10, seed: int = 0,
         report.episodes.append(
             asyncio.run(_run_episode(episode_seed(seed, index), cfg)))
     return report
+
+
+def expiry_config(**overrides) -> EpisodeConfig:
+    """The ``expiry`` profile: TTL'd sets against a ManagedMemcached
+    backend under raised commit-stall rates.
+
+    Half the planned sets carry a small TTL in the managed backend's
+    logical clock; stalls delay commits past expiry deadlines. The
+    TTL-aware checker spec then enforces the regression this profile
+    exists for: an expired key may only come back via a recorded store,
+    never by a stale commit resurrecting dead state.
+    """
+    from repro.apps.memcached.eviction import ManagedMemcached
+    from repro.testing.faults import COMMIT_STALL
+
+    defaults: Dict = dict(
+        ttl_rate=0.5, backend=ManagedMemcached,
+        rates={CONN_RESET: 0.06, COMMIT_STALL: 0.30})
+    defaults.update(overrides)
+    return EpisodeConfig(**defaults)

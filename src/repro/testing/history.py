@@ -35,8 +35,21 @@ linearize their effect at any point after invocation, or drop them,
 matching the reality that an enqueued commit may or may not have landed
 from the client's point of view.
 
+**TTL expiry** extends the register: state is ``None`` (absent) or a
+``(value, expirable)`` pair, where ``expirable`` records that the store
+which produced the value carried a non-zero TTL. An expirable value may
+*spontaneously* transition to ``None`` at any linearization point (the
+checker does not model wall-clock deadlines — any expiry schedule the
+server's logical clock produces is admissible), but the transition is
+one-way: once expired, the key can only return by way of another
+recorded store. A value observed after expiry with no store to explain
+it — a **resurrected** key, e.g. a stalled commit re-applying dead
+state — is therefore a violation, which is exactly the regression the
+``expiry`` fuzz profile hunts. Histories without TTLs never mark a
+register expirable, so the spec is unchanged for them.
+
 The per-key search is the classic Wing & Gill algorithm with
-memoization on (resolved-operation set, register value); distinct
+memoization on (resolved-operation set, register state); distinct
 written values keep it effectively linear in practice.
 """
 
@@ -71,6 +84,7 @@ class Operation:
     invoked: int = 0                # logical timestamps (shared counter)
     completed: Optional[int] = None  # None -> pending (no response seen)
     result: Optional[Result] = None  # None -> pending
+    ttl: int = 0                    # store TTL; non-zero -> may expire
 
     @property
     def pending(self) -> bool:
@@ -95,9 +109,10 @@ class HistoryRecorder:
 
     def invoke(self, client: int, seq: int, kind: str, key: bytes,
                value: Optional[bytes] = None,
-               expect: object = None) -> Operation:
+               expect: object = None, ttl: int = 0) -> Operation:
         op = Operation(client=client, seq=seq, kind=kind, key=key,
-                       value=value, expect=expect, invoked=self.tick())
+                       value=value, expect=expect, invoked=self.tick(),
+                       ttl=ttl)
         self.ops.append(op)
         return op
 
@@ -115,39 +130,50 @@ class HistoryRecorder:
 
 _FAIL = object()
 
+#: Register state is ``None`` (absent) or ``(value, expirable)`` — the
+#: stored bytes plus whether the store that produced them carried a TTL
+#: (an expirable value may spontaneously expire to ``None``; see the
+#: module docstring). Kept hashable: states are memoization keys.
+Register = Optional[Tuple[bytes, bool]]
 
-def _step(reg: Optional[bytes], op: Operation, result: Result):
+
+def _stored(op: Operation) -> Register:
+    return (op.value, bool(op.ttl))
+
+
+def _step(reg: Register, op: Operation, result: Result):
     """Apply ``op`` with observed ``result`` to register state ``reg``.
 
-    Returns the next register value, or ``_FAIL`` when the observed
+    Returns the next register state, or ``_FAIL`` when the observed
     result is impossible in state ``reg``.
     """
     kind = result[0]
     if op.kind == "set":
         if kind == "stored":
-            return op.value
+            return _stored(op)
         return reg  # an errored set has no effect
     if op.kind == "add":
         if kind == "stored":
-            return op.value if reg is None else _FAIL
+            return _stored(op) if reg is None else _FAIL
         if kind == "not_stored":
             return reg if reg is not None else _FAIL
         return reg
     if op.kind in ("get", "gets"):
         if kind == "value":
-            return reg if reg == result[1] else _FAIL
+            return reg if reg is not None and reg[0] == result[1] \
+                else _FAIL
         if kind == "miss":
             return reg if reg is None else _FAIL
         return reg
     if op.kind == "cas":
         if kind == "stored":
             if reg is not None and op.expect is not UNMATCHABLE \
-                    and reg == op.expect:
-                return op.value
+                    and reg[0] == op.expect:
+                return _stored(op)
             return _FAIL
         if kind == "exists":
             if reg is not None and (op.expect is UNMATCHABLE
-                                    or reg != op.expect):
+                                    or reg[0] != op.expect):
                 return reg
             return _FAIL
         if kind == "not_found":
@@ -162,21 +188,21 @@ def _step(reg: Optional[bytes], op: Operation, result: Result):
     raise ValueError("unknown operation kind %r" % op.kind)
 
 
-def _pending_effect(reg: Optional[bytes], op: Operation):
+def _pending_effect(reg: Register, op: Operation):
     """The state change if a pending op's lost commit actually landed.
 
-    Returns the new register value, or ``None``-marker ``_FAIL`` when
+    Returns the new register state, or ``None``-marker ``_FAIL`` when
     the op could not have taken effect in ``reg`` (in which case
     skipping it is the only branch — a failed cas/delete is a no-op).
     """
     if op.kind in ("set",):
-        return op.value
+        return _stored(op)
     if op.kind == "add":
-        return op.value if reg is None else _FAIL
+        return _stored(op) if reg is None else _FAIL
     if op.kind == "cas":
         if reg is not None and op.expect is not UNMATCHABLE \
-                and reg == op.expect:
-            return op.value
+                and reg[0] == op.expect:
+            return _stored(op)
         return _FAIL
     if op.kind == "delete":
         return None if reg is not None else _FAIL
@@ -221,15 +247,16 @@ class LinearizabilityReport:
 
 
 def _describe(op: Operation) -> str:
-    return "c%d#%d %s %s val=%r expect=%r result=%r [%s,%s]" % (
+    return "c%d#%d %s %s val=%r expect=%r result=%r [%s,%s]%s" % (
         op.client, op.seq, op.kind, op.key.decode("ascii", "replace"),
         op.value, "<none>" if op.expect is UNMATCHABLE else op.expect,
         op.result, op.invoked,
-        "pending" if op.pending else op.completed)
+        "pending" if op.pending else op.completed,
+        " ttl=%d" % op.ttl if op.ttl else "")
 
 
 def _check_key(key: bytes, ops: Sequence[Operation],
-               initial: Optional[bytes]) -> KeyVerdict:
+               initial: Register) -> KeyVerdict:
     n = len(ops)
     if n == 0:
         return KeyVerdict(key=key, ok=True, ops=0)
@@ -253,7 +280,7 @@ def _check_key(key: bytes, ops: Sequence[Operation],
     seen = set()
     budget = [SEARCH_BUDGET]
 
-    def search(resolved: int, reg: Optional[bytes]) -> bool:
+    def search(resolved: int, reg: Register) -> bool:
         if resolved & all_done == all_done:
             return True
         state = (resolved, reg)
@@ -261,6 +288,11 @@ def _check_key(key: bytes, ops: Sequence[Operation],
             return False
         seen.add(state)
         budget[0] -= 1
+        # spontaneous expiry: an expirable value may vanish at any
+        # linearization point — one-way, so a later observation of it
+        # needs a store to explain it (no resurrection)
+        if reg is not None and reg[1] and search(resolved, None):
+            return True
         for i in range(n):
             bit = 1 << i
             if resolved & bit or (preds[i] & ~resolved):
@@ -300,6 +332,8 @@ def check_history(ops: Sequence[Operation],
         by_key.setdefault(op.key, []).append(op)
     report = LinearizabilityReport(checked_ops=len(ops))
     for key in sorted(by_key):
-        report.verdicts.append(
-            _check_key(key, by_key[key], initial.get(key)))
+        start = initial.get(key)
+        report.verdicts.append(_check_key(
+            key, by_key[key],
+            None if start is None else (start, False)))
     return report

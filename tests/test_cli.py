@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 import sys
 
 import pytest
@@ -241,3 +242,39 @@ class TestFuzzProfiles:
                      "--seed", "0", "--ops", "15"]) == 0
         out = capsys.readouterr().out
         assert "replication fuzz episodes=1 ok=1 failed=0" in out
+
+
+class TestHiAndScaleCli:
+    def test_parser_accepts_new_profiles_and_target(self):
+        parser = build_parser()
+        assert parser.parse_args(["fuzz", "--profile", "hi"]).profile \
+            == "hi"
+        args = parser.parse_args(["fuzz", "--profile", "expiry"])
+        assert args.profile == "expiry"
+        args = parser.parse_args(["bench", "scale", "--smoke",
+                                  "--check", "200"])
+        assert args.target == "scale"
+        assert args.smoke and args.check == 200.0
+
+    def test_hi_profile_runs_an_episode(self, capsys):
+        assert main(["fuzz", "--profile", "hi", "--episodes", "1",
+                     "--seed", "0", "--schedules", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hi episodes=1 ok=1 failed=0" in out
+
+    def test_expiry_profile_runs_an_episode(self, capsys):
+        assert main(["fuzz", "--profile", "expiry", "--episodes", "1",
+                     "--seed", "0", "--ops", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz episodes=1 ok=1 failed=0" in out
+
+    def test_bench_scale_writes_report_and_checks_floor(self, tmp_path,
+                                                        capsys):
+        out = tmp_path / "scale.json"
+        assert main(["bench", "scale", "--smoke", "--keys", "2000",
+                     "--workers", "2", "--check", "10",
+                     "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["keys"] == 2000
+        assert report["footprint"]["dedup_ratio"] > 0
+        assert "populate" in capsys.readouterr().out

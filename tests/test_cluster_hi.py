@@ -1,0 +1,98 @@
+"""History independence across *topologies* (satellite of the HI PR).
+
+The single-machine verifier proves op order can't leak into canonical
+form. This test lifts that to the cluster: one workload executed
+against a healthy single-leader fleet, and again against a fleet that
+loses its leader mid-workload and promotes a follower, must end with
+**identical per-stream segment fingerprints** — failover is just
+another schedule, and the replicated DAG must not remember it.
+"""
+
+import asyncio
+
+from repro.cluster import (
+    Cluster,
+    ClusterClient,
+    ClusterConfig,
+    TopologyManager,
+)
+
+KEYS = [(b"hi-key-%03d" % i, b"hi-value-%d" % (i % 7)) for i in range(40)]
+
+
+async def write(client, items):
+    for key, value in items:
+        line = await client.set(key, value)
+        assert line.strip() == b"STORED", line
+
+
+async def wait_epoch(cluster, above, timeout=30.0):
+    loop = asyncio.get_event_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if cluster.topology.epoch > above:
+            return True
+        await asyncio.sleep(0.02)
+    return False
+
+
+def config():
+    return ClusterConfig(leaders=1, followers=2, shards=2, seed=11)
+
+
+async def healthy_run():
+    """The whole workload against an undisturbed 1-leader fleet."""
+    client = ClusterClient(max_retries=100, retry_delay=0.02)
+    async with Cluster(config()) as cluster:
+        client.topology = cluster.topology
+        await write(client, KEYS)
+        assert await cluster.wait_converged("lead-0")
+        fleet = cluster.fleet_fingerprints("lead-0")
+        await client.close()
+        return cluster.leader_fingerprints("lead-0"), fleet
+
+
+async def failover_run():
+    """Same workload, but the leader dies halfway and a follower is
+    promoted; the rest of the workload lands on the new leader."""
+    client = ClusterClient(max_retries=200, retry_delay=0.02)
+    cluster = Cluster(config())
+    manager = TopologyManager(cluster, probe_interval=0.05,
+                              failure_threshold=2)
+    async with cluster:
+        client.topology = cluster.topology
+        half = len(KEYS) // 2
+        await write(client, KEYS[:half])
+        assert await cluster.wait_converged("lead-0")
+        epoch = cluster.topology.epoch
+        await manager.start()
+        await cluster.kill("lead-0")
+        assert await wait_epoch(cluster, epoch)
+        promoted = cluster.topology.leader_ids()
+        assert len(promoted) == 1 and promoted[0] != "lead-0"
+        await client.refresh()
+        await write(client, KEYS[half:])
+        assert await cluster.wait_converged(promoted[0])
+        fleet = cluster.fleet_fingerprints(promoted[0])
+        leader = cluster.leader_fingerprints(promoted[0])
+        await client.close()
+        await manager.stop()
+        return leader, fleet
+
+
+class TestClusterHistoryIndependence:
+    def test_failover_is_invisible_in_the_fingerprints(self):
+        async def go():
+            healthy_leader, healthy_fleet = await healthy_run()
+            failover_leader, failover_fleet = await failover_run()
+
+            # the leaders' per-stream canonical roots are identical —
+            # the failover never happened, as far as the DAG can tell
+            assert failover_leader == healthy_leader
+
+            # and every fleet member in both runs agrees with them
+            for fleet in (healthy_fleet, failover_fleet):
+                for node_id, streams in fleet.items():
+                    assert streams == healthy_leader, node_id
+
+        asyncio.run(go())

@@ -1,0 +1,138 @@
+"""Seeded permutation properties: construction order cannot leak.
+
+The HICAMP canonical-form argument (§3.2) says a structure's root is a
+pure function of its logical contents. These properties pin that down
+per structure: ``put_many`` and one-at-a-time puts, over seeded
+shuffles of the same key set, must produce byte-identical roots and
+machine fingerprints — and tearing any of them down must leave the
+machine refcount-audit clean at its baseline footprint.
+"""
+
+import random
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.structures.hmap import HMap
+from repro.structures.hmatrix import QuadTreeMatrix
+from repro.structures.hordered import HOrderedCollection
+from repro.structures.hsorted import HSortedMap
+from repro.testing import audit_machine
+
+ITEMS = [(b"key-%03d" % i, b"value-%d-" % (i % 5) * (1 + i % 4))
+         for i in range(40)]
+
+
+def shuffled(seed):
+    rng = random.Random(seed)
+    items = list(ITEMS)
+    rng.shuffle(items)
+    return items
+
+
+def observe(build):
+    """Build on a fresh machine; fingerprint, audit, tear down."""
+    machine = Machine()
+    baseline = (machine.footprint_lines(), machine.footprint_bytes())
+    target, vsids = build(machine)
+    machine.drain()
+    fingerprints = tuple(machine.segment_fingerprint(v) for v in vsids)
+    audit = audit_machine(machine, strict=True)
+    assert audit.ok, audit.failures
+    target.drop()
+    machine.drain()
+    assert (machine.footprint_lines(),
+            machine.footprint_bytes()) == baseline
+    assert audit_machine(machine, strict=True).ok
+    return fingerprints
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_hmap_orders_and_bulk_agree(seed):
+    def sequential(machine):
+        hmap = HMap.create(machine)
+        for key, value in shuffled(seed):
+            hmap.put(key, value)
+        return hmap, [hmap.vsid]
+
+    def bulk(machine):
+        hmap = HMap.create(machine)
+        hmap.put_many(shuffled(seed * 101 + 7))
+        return hmap, [hmap.vsid]
+
+    def reference(machine):
+        hmap = HMap.create(machine)
+        for key, value in ITEMS:
+            hmap.put(key, value)
+        return hmap, [hmap.vsid]
+
+    assert observe(sequential) == observe(bulk) == observe(reference)
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+def test_hsorted_insertion_order_is_invisible(seed):
+    def build(order):
+        def inner(machine):
+            smap = HSortedMap.create(machine)
+            for key, value in order:
+                smap.put(key, value)
+            return smap, [smap.kvp.vsid, smap.index_vsid]
+        return inner
+
+    assert observe(build(shuffled(seed))) == observe(build(ITEMS))
+
+
+@pytest.mark.parametrize("seed", [6, 7])
+def test_hordered_insertion_order_is_invisible(seed):
+    entries = [(1 + i * 17, b"payload-%d" % (i % 3)) for i in range(30)]
+
+    def build(order):
+        def inner(machine):
+            coll = HOrderedCollection.create(machine)
+            for ts, payload in order:
+                coll.insert(ts, payload)
+            return coll, [coll.vsid]
+        return inner
+
+    rng = random.Random(seed)
+    permuted = list(entries)
+    rng.shuffle(permuted)
+    assert observe(build(permuted)) == observe(build(entries))
+
+
+@pytest.mark.parametrize("seed", [8, 9])
+def test_hmatrix_coo_order_is_invisible(seed):
+    cells = random.Random(0).sample(
+        [(row, col) for row in range(16) for col in range(16)], 24)
+    triples = [(row, col, float(1 + i % 5))
+               for i, (row, col) in enumerate(cells)]
+
+    def build(order):
+        def inner(machine):
+            matrix = QuadTreeMatrix.from_coo(machine, 16, 16, order)
+            return matrix, [matrix.vsid]
+        return inner
+
+    rng = random.Random(seed)
+    permuted = list(triples)
+    rng.shuffle(permuted)
+    assert observe(build(permuted)) == observe(build(triples))
+
+
+def test_delete_then_reinsert_restores_the_exact_root():
+    # history independence across *mutation*, not just construction
+    def pristine(machine):
+        hmap = HMap.create(machine)
+        hmap.put_many(ITEMS)
+        return hmap, [hmap.vsid]
+
+    def churned(machine):
+        hmap = HMap.create(machine)
+        hmap.put_many(ITEMS)
+        for key, _ in ITEMS[::3]:
+            hmap.delete(key)
+        for key, value in reversed(ITEMS[::3]):
+            hmap.put(key, value)
+        return hmap, [hmap.vsid]
+
+    assert observe(pristine) == observe(churned)

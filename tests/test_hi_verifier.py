@@ -1,0 +1,107 @@
+"""The history-independence verifier itself (repro.testing.hi).
+
+A canonical-form store makes history independence *checkable*: every
+schedule of one workload must land on byte-identical roots. These tests
+run the differential verifier end to end over all five structures and —
+just as important — prove the verifier can *fail*: an injected
+order-dependent bug must be caught, shrunk to a minimal op list, and
+reported with a replayable seed.
+"""
+
+import pytest
+
+from repro.testing import hi
+from repro.testing.hi import (
+    HIConfig,
+    generate_workload,
+    interleave,
+    run_hi,
+    run_hi_episode,
+    verify_structure,
+)
+
+FAST = HIConfig(schedules=6, keys=8, ops=24)
+
+
+def test_workloads_are_seed_pure():
+    for structure in hi.STRUCTURES:
+        first = generate_workload(9, structure, FAST)
+        again = generate_workload(9, structure, FAST)
+        assert first == again
+        assert first != generate_workload(10, structure, FAST)
+
+
+def test_interleave_preserves_per_key_order():
+    ops = generate_workload(3, "hmap", FAST)
+    for index in range(1, 8):
+        schedule = interleave(ops, 3, index)
+        assert sorted(map(repr, schedule)) == sorted(map(repr, ops))
+        for key in {op[1] for op in ops}:
+            stream = [op for op in ops if op[1] == key]
+            assert [op for op in schedule if op[1] == key] == stream
+    assert interleave(ops, 3, 0) == list(ops)
+    # schedules genuinely differ (or the verifier checks nothing)
+    assert any(interleave(ops, 3, i) != list(ops) for i in range(1, 8))
+
+
+@pytest.mark.parametrize("structure", hi.STRUCTURES)
+def test_structure_is_history_independent(structure):
+    verdict = verify_structure(17, structure, FAST)
+    assert verdict.ok, "\n".join(verdict.failures)
+    assert verdict.fingerprints
+
+
+def test_full_episode_at_default_schedule_depth():
+    # the acceptance bar: >= 20 permuted schedules per workload spec
+    cfg = HIConfig(keys=8, ops=24)
+    assert cfg.schedules >= 20
+    result = run_hi_episode(1, cfg)
+    assert result.ok, "\n".join(result.failures)
+
+
+def test_injected_order_dependence_is_caught_and_shrunk(monkeypatch):
+    # sabotage one schedule: silently drop the deletes
+    original = hi.interleave
+
+    def sabotaged(ops, seed, index):
+        schedule = original(ops, seed, index)
+        if index == 2:
+            schedule = [op for op in schedule if op[0] != "delete"]
+        return schedule
+
+    monkeypatch.setattr(hi, "interleave", sabotaged)
+    verdict = verify_structure(11, "hmap", HIConfig(schedules=4))
+    assert not verdict.ok
+    assert any("schedule 2" in failure for failure in verdict.failures)
+    # the shrinker produced a strictly smaller, still-diverging repro
+    assert verdict.minimal_ops is not None
+    assert 0 < len(verdict.minimal_ops) \
+        < len(generate_workload(11, "hmap", HIConfig(schedules=4)))
+
+
+def test_report_renders_replay_seed(monkeypatch):
+    original = hi.interleave
+
+    def sabotaged(ops, seed, index):
+        schedule = original(ops, seed, index)
+        if index == 1:
+            schedule = [op for op in schedule if op[0] != "delete"]
+        return schedule
+
+    monkeypatch.setattr(hi, "interleave", sabotaged)
+    report = run_hi(episodes=1, seed=23,
+                    cfg=HIConfig(schedules=2, structures=("hmap",)))
+    assert not report.ok
+    assert report.failed_seeds == [23]
+    rendered = report.render()
+    assert "repro fuzz --profile hi --episodes 1 --seed 23" in rendered
+    assert "DIVERGED" in rendered
+
+
+def test_report_render_green_path():
+    report = run_hi(episodes=2, seed=4,
+                    cfg=HIConfig(schedules=3, keys=6, ops=12,
+                                 structures=("hmap", "hordered")))
+    assert report.ok
+    assert report.failed_seeds == []
+    assert "episodes=2 ok=2 failed=0" in report.render()
