@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Reproduce every benchmark and merge the results into one trajectory.
+#
+# Runs each `repro bench` target in sequence, then `repro bench
+# aggregate`, which sweeps every BENCH_*.json and benchmarks/out/*.json
+# into benchmarks/out/trajectory.json — the single document to diff
+# across commits.
+#
+# Smoke tier by default (minutes); FULL=1 runs the full geometries.
+#
+#   ./scripts/reproduce_all.sh
+#   FULL=1 ./scripts/reproduce_all.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+SMOKE_FLAG="--smoke"
+if [ "${FULL:-0}" = "1" ]; then
+    SMOKE_FLAG=""
+fi
+
+run() {
+    echo "==> repro bench $*"
+    python -m repro.cli.main bench "$@"
+}
+
+run hotpath --out benchmarks/out/hotpath.json
+run cluster ${SMOKE_FLAG}
+run scale ${SMOKE_FLAG}
+run dedup-index ${SMOKE_FLAG}
+
+echo "==> repro bench aggregate"
+python -m repro.cli.main bench aggregate
+
+echo "trajectory written to benchmarks/out/trajectory.json"

@@ -1,0 +1,230 @@
+"""`repro bench dedup-index` — lookup-by-content at overflow scale.
+
+Drives two :class:`~repro.memory.dedup_store.DedupStore` instances —
+``index_kind="legacy"`` (paper Fig. 2: in-bucket signatures + linear
+overflow-chain scan) and ``index_kind="cuckoo"`` (repro.memory.index) —
+through identical seeded workloads holding ~10x the buckets' resident
+capacity, exactly the regime the million-key scale scenario exposed.
+Physical placement is index-independent, so both stores end with
+bit-identical lines; only the *cost of finding them* differs.
+
+Measured per kind:
+
+* **populate**: install ``keys`` distinct lines (every one a miss that
+  must prove absence before allocating — the regime where the legacy
+  chain walk is O(resident lines / buckets) per op);
+* **mixed**: an even hit/new-content mix with per-op wall timing,
+  yielding DRAM ops/lookup and p50/p99/max latency;
+* **hits**: re-lookups of resident content only.
+
+The cuckoo store deliberately starts from a tiny initial table so the
+run itself exercises several *online resizes* (reported in the JSON).
+``--check`` floors the DRAM-ops-per-lookup ratio and the p99 ratio
+(legacy/cuckoo, >1 means cuckoo wins); CI runs the smoke tier.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.memory.dedup_store import DedupStore
+from repro.memory.line import make_leaf
+from repro.params import MemoryConfig, WORD_MASK
+
+DEFAULT_OUT = "benchmarks/out/dedup_index.json"
+
+#: Store geometry: small bucket count so the key counts below land at
+#: ~10x resident capacity (num_buckets * data_ways) without minutes of
+#: pure-Python chain walking. DRAM ops per lookup depend only on this
+#: ratio, so the result transfers to the full-size configuration.
+FULL_GEOMETRY = dict(num_buckets=1 << 11, keys=240_000, measured=40_000)
+SMOKE_GEOMETRY = dict(num_buckets=1 << 8, keys=30_000, measured=8_000)
+
+#: Initial cuckoo buckets — tiny on purpose, so the bench itself drives
+#: several online doublings (index_buckets * index_slots starting slots).
+INITIAL_INDEX_BUCKETS = 1 << 8
+
+
+def _content(i: int) -> tuple:
+    """Distinct two-word leaf content for key ``i`` (deterministic)."""
+    return make_leaf(((i + 1) & WORD_MASK,
+                      (i * 0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+                      & WORD_MASK), 2)
+
+
+def _store(kind: str, num_buckets: int) -> DedupStore:
+    return DedupStore(MemoryConfig(
+        num_buckets=num_buckets,
+        overflow_lines=1 << 22,
+        index_kind=kind,
+        index_buckets=INITIAL_INDEX_BUCKETS))
+
+
+def _percentile(sorted_us: List[float], q: float) -> float:
+    if not sorted_us:
+        return 0.0
+    pos = min(len(sorted_us) - 1, int(q * (len(sorted_us) - 1)))
+    return sorted_us[pos]
+
+
+def _run_kind(kind: str, num_buckets: int, keys: int,
+              measured: int) -> Dict:
+    store = _store(kind, num_buckets)
+    perf = time.perf_counter
+
+    t0 = perf()
+    dram0 = store.stats.total()
+    for i in range(keys):
+        store.lookup(_content(i))
+    populate_s = perf() - t0
+    populate_dram = store.stats.total() - dram0
+
+    # mixed phase: alternate resident re-lookups with never-seen content
+    # (the serving mix: dedup hits and fresh ingest), per-op timing
+    latencies_us: List[float] = []
+    dram0 = store.stats.total()
+    lookups0 = store.counters.lookups
+    fresh = keys
+    for j in range(measured):
+        if j % 2 == 0:
+            line = _content((j * 2654435761) % keys)
+        else:
+            line = _content(fresh)
+            fresh += 1
+        t = perf()
+        store.lookup(line)
+        latencies_us.append((perf() - t) * 1e6)
+    mixed_dram = store.stats.total() - dram0
+    mixed_ops = store.counters.lookups - lookups0
+
+    # hits-only phase: resident content, no allocation in the loop
+    dram0 = store.stats.total()
+    t0 = perf()
+    for j in range(measured):
+        store.lookup(_content((j * 48271 + 11) % keys))
+    hits_s = perf() - t0
+    hits_dram = store.stats.total() - dram0
+
+    latencies_us.sort()
+    result = {
+        "kind": kind,
+        "resident_lines": store.footprint_lines(),
+        "capacity_multiple": round(
+            store.footprint_lines() / float(
+                num_buckets * store.config.data_ways), 2),
+        "populate": {
+            "keys": keys,
+            "seconds": round(populate_s, 3),
+            "ops_per_s": round(keys / populate_s, 1),
+            "dram_ops_per_lookup": round(populate_dram / float(keys), 2),
+        },
+        "mixed": {
+            "ops": mixed_ops,
+            "dram_ops_per_lookup": round(mixed_dram / float(mixed_ops), 2),
+            "p50_us": round(_percentile(latencies_us, 0.50), 2),
+            "p99_us": round(_percentile(latencies_us, 0.99), 2),
+            "max_us": round(latencies_us[-1], 2),
+        },
+        "hits": {
+            "ops": measured,
+            "dram_ops_per_lookup": round(hits_dram / float(measured), 2),
+            "ops_per_s": round(measured / hits_s, 1),
+        },
+        "store": {
+            "false_positive_scans": store.counters.false_positive_scans,
+            "bucket_overflows": store.counters.bucket_overflows,
+            "overflow_allocations": store.counters.overflow_allocations,
+        },
+    }
+    if store.index is not None:
+        result["index"] = store.index.snapshot()
+    return result
+
+
+def run_index_bench(smoke: bool = False, keys: int = 0) -> Dict:
+    """Run both kinds; returns the cross-kind report."""
+    geo = dict(SMOKE_GEOMETRY if smoke else FULL_GEOMETRY)
+    if keys:
+        geo["keys"] = keys
+        geo["measured"] = min(geo["measured"], max(1000, keys // 6))
+    legacy = _run_kind("legacy", geo["num_buckets"], geo["keys"],
+                       geo["measured"])
+    cuckoo = _run_kind("cuckoo", geo["num_buckets"], geo["keys"],
+                       geo["measured"])
+    if legacy["resident_lines"] != cuckoo["resident_lines"]:
+        raise AssertionError(
+            "index kinds diverged: %d vs %d resident lines"
+            % (legacy["resident_lines"], cuckoo["resident_lines"]))
+    ratios = {
+        "mixed_dram_ops": round(
+            legacy["mixed"]["dram_ops_per_lookup"]
+            / max(cuckoo["mixed"]["dram_ops_per_lookup"], 1e-9), 2),
+        "populate_dram_ops": round(
+            legacy["populate"]["dram_ops_per_lookup"]
+            / max(cuckoo["populate"]["dram_ops_per_lookup"], 1e-9), 2),
+        "p99_latency": round(
+            legacy["mixed"]["p99_us"]
+            / max(cuckoo["mixed"]["p99_us"], 1e-9), 2),
+        "populate_throughput": round(
+            cuckoo["populate"]["ops_per_s"]
+            / max(legacy["populate"]["ops_per_s"], 1e-9), 2),
+    }
+    return {
+        "bench": "dedup_index",
+        "tier": "smoke" if smoke else "full",
+        "num_buckets": geo["num_buckets"],
+        "keys": geo["keys"],
+        "capacity_multiple": legacy["capacity_multiple"],
+        "legacy": legacy,
+        "cuckoo": cuckoo,
+        "ratios_legacy_over_cuckoo": ratios,
+    }
+
+
+def check_floor(report: Dict, floor: float) -> List[str]:
+    """Floor violations (empty = pass): DRAM-ratio and p99-ratio must
+    both clear ``floor`` and the cuckoo run must have resized online."""
+    ratios = report["ratios_legacy_over_cuckoo"]
+    problems = []
+    if ratios["mixed_dram_ops"] < floor:
+        problems.append(
+            "mixed DRAM ops/lookup ratio %.2fx below the %.2fx floor"
+            % (ratios["mixed_dram_ops"], floor))
+    if ratios["p99_latency"] < floor:
+        problems.append(
+            "p99 latency ratio %.2fx below the %.2fx floor"
+            % (ratios["p99_latency"], floor))
+    if report["cuckoo"]["index"]["resizes_completed"] < 1:
+        problems.append("no online resize completed during the run")
+    return problems
+
+
+def render(report: Dict) -> str:
+    """Human-readable table of the cross-kind report."""
+    from repro.analysis.reporting import format_table
+
+    rows = []
+    for metric, path in (
+            ("populate ops/s", ("populate", "ops_per_s")),
+            ("populate DRAM ops/lookup", ("populate",
+                                          "dram_ops_per_lookup")),
+            ("mixed DRAM ops/lookup", ("mixed", "dram_ops_per_lookup")),
+            ("mixed p50 us", ("mixed", "p50_us")),
+            ("mixed p99 us", ("mixed", "p99_us")),
+            ("hits DRAM ops/lookup", ("hits", "dram_ops_per_lookup"))):
+        rows.append([metric,
+                     report["legacy"][path[0]][path[1]],
+                     report["cuckoo"][path[0]][path[1]]])
+    ratios = report["ratios_legacy_over_cuckoo"]
+    rows.append(["DRAM ratio (legacy/cuckoo)",
+                 "", "%.2fx" % ratios["mixed_dram_ops"]])
+    rows.append(["p99 ratio (legacy/cuckoo)",
+                 "", "%.2fx" % ratios["p99_latency"]])
+    idx = report["cuckoo"]["index"]
+    rows.append(["online resizes completed", "", idx["resizes_completed"]])
+    rows.append(["max displacement depth", "", idx["max_depth"]])
+    return format_table(
+        ["metric", "legacy", "cuckoo"], rows,
+        title="dedup-index (%s tier, %d keys at %.1fx capacity)"
+        % (report["tier"], report["keys"], report["capacity_multiple"]))

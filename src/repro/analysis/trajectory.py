@@ -1,0 +1,66 @@
+"""`repro bench aggregate` — one machine-readable perf trajectory.
+
+Every bench target writes its own JSON (``BENCH_*.json`` at the repo
+root, per-suite files under ``benchmarks/out/``). This module sweeps
+them all into ``benchmarks/out/trajectory.json``: a single document the
+reproduction scripts, CI artifacts and cross-PR comparisons can consume
+without knowing each bench's layout. ``scripts/reproduce_all.sh`` runs
+every target and finishes with this aggregation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List
+
+DEFAULT_OUT = "benchmarks/out/trajectory.json"
+
+#: Glob patterns swept into the trajectory, relative to the repo root.
+SOURCE_PATTERNS = ("BENCH_*.json", "benchmarks/out/*.json")
+
+
+def collect_sources(root: str = ".") -> List[pathlib.Path]:
+    """Bench JSON files under ``root``, trajectory output excluded."""
+    base = pathlib.Path(root)
+    out_name = pathlib.Path(DEFAULT_OUT).name
+    found: List[pathlib.Path] = []
+    for pattern in SOURCE_PATTERNS:
+        found.extend(p for p in base.glob(pattern) if p.name != out_name)
+    return sorted(set(found))
+
+
+def aggregate(root: str = ".") -> Dict:
+    """Merge every bench JSON into one document.
+
+    Unreadable files are reported under ``"errors"`` instead of sinking
+    the aggregation — a half-written bench must not hide the others.
+    """
+    benches: Dict[str, Dict] = {}
+    errors: Dict[str, str] = {}
+    sources: List[str] = []
+    for path in collect_sources(root):
+        rel = str(path.relative_to(root) if path.is_absolute()
+                  else path)
+        sources.append(rel)
+        try:
+            benches[path.stem] = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            errors[rel] = str(exc)
+    doc: Dict = {
+        "trajectory": 1,
+        "sources": sources,
+        "benches": benches,
+    }
+    if errors:
+        doc["errors"] = errors
+    return doc
+
+
+def write_trajectory(root: str = ".", out: str = DEFAULT_OUT) -> Dict:
+    """Aggregate and write; returns the document."""
+    doc = aggregate(root)
+    path = pathlib.Path(root) / out
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc

@@ -258,7 +258,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         from repro.testing.hi import HIConfig, run_hi
 
         cfg = HIConfig(schedules=args.schedules, keys=args.keys,
-                       ops=args.ops)
+                       ops=args.ops, index_kind=args.index_kind)
         report = run_hi(episodes=args.episodes, seed=args.seed, cfg=cfg)
     elif args.profile == "expiry":
         from repro.testing.fuzz import expiry_config, run_fuzz
@@ -267,6 +267,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                             ops_per_client=args.ops,
                             pipeline_depth=args.pipeline,
                             key_space=args.keys, shards=args.shards)
+        cfg.index_kind = args.index_kind
         report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
     elif args.profile == "cluster":
         from repro.cluster.fuzz import ClusterEpisodeConfig, run_fuzz
@@ -288,7 +289,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
         cfg = EpisodeConfig(clients=args.clients, ops_per_client=args.ops,
                             pipeline_depth=args.pipeline,
-                            key_space=args.keys, shards=args.shards)
+                            key_space=args.keys, shards=args.shards,
+                            index_kind=args.index_kind)
         report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
     print(report.render(verbose=args.verbose))
     return 0 if report.ok else 1
@@ -558,6 +560,51 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_dedup_index(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import indexbench
+
+    report = indexbench.run_index_bench(smoke=args.smoke,
+                                        keys=args.keys or 0)
+    out = pathlib.Path(args.out or indexbench.DEFAULT_OUT)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(indexbench.render(report))
+        print("  -> %s" % out)
+    if args.check is not None:
+        problems = indexbench.check_floor(report, args.check)
+        for problem in problems:
+            print("bench dedup-index: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+    return 0
+
+
+def _cmd_bench_aggregate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import trajectory
+
+    doc = trajectory.write_trajectory(out=args.out or
+                                      trajectory.DEFAULT_OUT)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print("aggregated %d bench report(s) -> %s"
+              % (len(doc["benches"]),
+                 args.out or trajectory.DEFAULT_OUT))
+        for source in doc["sources"]:
+            print("  %s" % source)
+        for source, error in doc.get("errors", {}).items():
+            print("  unreadable %s: %s" % (source, error),
+                  file=sys.stderr)
+    return 1 if doc.get("errors") else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -568,6 +615,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_cluster(args)
     if args.target == "scale":
         return _cmd_bench_scale(args)
+    if args.target == "dedup-index":
+        return _cmd_bench_dedup_index(args)
+    if args.target == "aggregate":
+        return _cmd_bench_aggregate(args)
     report = run_hotpath(scale=args.scale)
     if args.out:
         out = pathlib.Path(args.out)
@@ -810,6 +861,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fz.add_argument("--schedules", type=int, default=20,
                       help="hi profile: permuted schedules per workload "
                            "(default 20)")
+    p_fz.add_argument("--index-kind", choices=("legacy", "cuckoo"),
+                      default="legacy",
+                      help="lookup-by-content index of the machine "
+                           "under test (serving/expiry/hi profiles)")
     p_fz.add_argument("--verbose", action="store_true",
                       help="print the full trace of passing episodes too")
     p_fz.set_defaults(func=_cmd_fuzz)
@@ -845,16 +900,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark suites: hot-path microbenchmarks or cluster "
              "read-scaling and recovery")
     p_bench.add_argument("target",
-                         choices=("hotpath", "cluster", "scale"),
-                         help="benchmark suite to run")
+                         choices=("hotpath", "cluster", "scale",
+                                  "dedup-index", "aggregate"),
+                         help="benchmark suite to run (dedup-index: "
+                              "lookup-by-content cuckoo vs legacy at "
+                              "overflow scale; aggregate: merge every "
+                              "bench JSON into benchmarks/out/"
+                              "trajectory.json)")
     p_bench.add_argument("--scale", type=int, default=1,
                          help="repetition multiplier (default 1)")
     p_bench.add_argument("--smoke", action="store_true",
-                         help="scale: CI tier (20k keys, seconds "
-                              "instead of minutes)")
+                         help="scale/dedup-index: CI tier (small key "
+                              "counts, seconds instead of minutes)")
     p_bench.add_argument("--keys", type=int, default=0,
                          help="scale: total keys across workers "
-                              "(default 1M, or 20k with --smoke)")
+                              "(default 1M, or 20k with --smoke); "
+                              "dedup-index: unique lines per kind")
     p_bench.add_argument("--workers", type=int, default=0,
                          help="scale: worker processes (default 4, "
                               "or 2 with --smoke)")
@@ -872,7 +933,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "exit 1 if the full-fanout aggregate read "
                               "speedup is below it; scale: exit 1 if "
                               "populate ops/s falls below it (or any "
-                              "serve-phase error/miss)")
+                              "serve-phase error/miss); dedup-index: "
+                              "exit 1 if the legacy/cuckoo DRAM or p99 "
+                              "ratio is below it")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_demo = sub.add_parser("demo", help="one-minute architecture tour")

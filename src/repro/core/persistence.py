@@ -84,6 +84,9 @@ def machine_image(machine: Machine) -> Dict[str, Any]:
             "data_ways": mc.memory.data_ways,
             "overflow_lines": mc.memory.overflow_lines,
             "plid_bytes": mc.memory.plid_bytes,
+            "index_kind": mc.memory.index_kind,
+            "index_buckets": mc.memory.index_buckets,
+            "index_slots": mc.memory.index_slots,
             "cache_bytes": mc.cache.size_bytes,
             "cache_ways": mc.cache.ways,
             "path_compaction": mc.path_compaction,
@@ -128,7 +131,11 @@ def restore_machine(image: Dict[str, Any]) -> Machine:
                                 num_buckets=cfg["num_buckets"],
                                 data_ways=cfg["data_ways"],
                                 overflow_lines=cfg["overflow_lines"],
-                                plid_bytes=cfg["plid_bytes"]),
+                                plid_bytes=cfg["plid_bytes"],
+                                # older images predate the index switch
+                                index_kind=cfg.get("index_kind", "legacy"),
+                                index_buckets=cfg.get("index_buckets", 1 << 10),
+                                index_slots=cfg.get("index_slots", 4)),
             cache=CacheGeometry(size_bytes=cfg["cache_bytes"],
                                 ways=cfg["cache_ways"],
                                 line_bytes=cfg["line_bytes"]),
@@ -165,6 +172,9 @@ def restore_machine(image: Dict[str, Any]) -> Machine:
             store._refcounts[plid] = image["refcounts"][plid_str]
         store._next_overflow = image["next_overflow"]
         store._free_overflow = list(image["free_overflow"])
+        # recapture canonical encodings (and rebuild the cuckoo table
+        # when the image was saved under index_kind="cuckoo")
+        store.reindex()
 
         # restore the segment map
         for vsid_str, rec in image["segmap"].items():

@@ -22,6 +22,7 @@ from repro.memory.line import (
 )
 from repro.memory.stats import DramStats, TrafficCounter
 from repro.memory.dedup_store import DedupStore
+from repro.memory.index import CuckooIndex, CuckooIndexStats, compute_fp_bits
 from repro.memory.cache import HicampCache
 from repro.memory.system import MemorySystem
 from repro.memory.conventional import CacheLevel, ConventionalMemory
@@ -40,6 +41,9 @@ __all__ = [
     "DramStats",
     "TrafficCounter",
     "DedupStore",
+    "CuckooIndex",
+    "CuckooIndexStats",
+    "compute_fp_bits",
     "HicampCache",
     "MemorySystem",
     "CacheLevel",

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import BadPlidError, IntegrityError, MemoryExhaustedError
 from repro.memory import hashing
+from repro.memory.index import CuckooIndex
 from repro.memory.line import (
     Line,
     ZERO_PLID,
@@ -66,6 +67,12 @@ class StoreCounters:
     deallocations: int = 0
     overflow_allocations: int = 0
     signature_false_positives: int = 0
+    #: full-line compares performed against non-matching content (legacy:
+    #: signature collisions + overflow-chain reads past other lines;
+    #: cuckoo: fingerprint collisions) — the honest cross-index baseline
+    false_positive_scans: int = 0
+    #: lookups that had to walk a non-empty overflow chain (legacy only)
+    bucket_overflows: int = 0
 
 
 class _RcCache:
@@ -150,6 +157,17 @@ class DedupStore:
         #: stack and hotpath benchmarks enable it — see memo.py)
         self.memo = StructuralMemo()
         self.dealloc_listeners.append(self.memo.on_dealloc)
+        #: opt-in cuckoo lookup-by-content path (index.py). Physical
+        #: placement (_allocate) is identical under both kinds; only the
+        #: way a lookup *finds* resident content differs, so PLIDs,
+        #: refcounts and fingerprints never depend on the index kind.
+        self._index: Optional[CuckooIndex] = None
+        if self.config.index_kind == "cuckoo":
+            self._index = CuckooIndex(
+                initial_buckets=self.config.index_buckets,
+                slots_per_bucket=self.config.index_slots,
+                target_fp_rate=self.config.index_target_fp_rate,
+                stats=self.stats, rows=self.rows)
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -288,6 +306,8 @@ class DedupStore:
             return ZERO_PLID, False
         if enc is None:
             enc = encode_line(line)
+        if self._index is not None:
+            return self._lookup_cuckoo(line, enc)
         bucket_idx = hashing.bucket_hash(enc, self._num_buckets)
         sig = hashing.signature(enc)
         bucket = self._buckets.get(bucket_idx)
@@ -308,6 +328,7 @@ class DedupStore:
             for _ in range(max(1, matches)):
                 self.rows.access(bucket_idx)
             self.counters.signature_false_positives += max(0, matches - 1)
+            self.counters.false_positive_scans += max(0, matches - 1)
             self.counters.lookup_hits += 1
             self._refcounts[existing] += 1
             self._rc_cache.touch(existing)
@@ -318,7 +339,10 @@ class DedupStore:
             for _ in range(matches):
                 self.rows.access(bucket_idx)
             self.counters.signature_false_positives += matches
+            self.counters.false_positive_scans += matches
         # Check the overflow chain for this bucket.
+        if bucket.overflow:
+            self.counters.bucket_overflows += 1
         for plid in bucket.overflow:
             self.stats.lookups += 1
             self.rows.access(self._row_of(plid))
@@ -327,8 +351,44 @@ class DedupStore:
                 self._refcounts[plid] += 1
                 self._rc_cache.touch(plid)
                 return plid, False
+            self.counters.false_positive_scans += 1
 
         plid = self._allocate(line, enc, bucket_idx, sig, bucket)
+        return plid, True
+
+    def _lookup_cuckoo(self, line: Line, enc: bytes) -> Tuple[int, bool]:
+        """Find-or-allocate through the cuckoo index.
+
+        The index narrows candidates by adaptive-width fingerprint; each
+        surviving candidate costs one charged data-line read for the
+        full content compare (a mismatch is a false-positive scan).
+        Physical allocation is byte-identical to the legacy path.
+        """
+        self.counters.lookups += 1
+        key = CuckooIndex.key_of(enc)
+
+        def match(plid: int) -> bool:
+            self.stats.lookups += 1  # candidate data-line read
+            self.rows.access(self._row_of(plid))
+            if self._enc_by_plid.get(plid) == enc:
+                return True
+            self.counters.false_positive_scans += 1
+            return False
+
+        found = self._index.get(key, match)
+        if found is not None:
+            self.counters.lookup_hits += 1
+            self._refcounts[found] += 1
+            self._rc_cache.touch(found)
+            return found, False
+        bucket_idx = hashing.bucket_hash(enc, self._num_buckets)
+        sig = hashing.signature(enc)
+        bucket = self._buckets.get(bucket_idx)
+        if bucket is None:
+            bucket = _Bucket(signatures=[0] * (self._data_ways + 1))
+            self._buckets[bucket_idx] = bucket
+        plid = self._allocate(line, enc, bucket_idx, sig, bucket)
+        self._index.insert(key, plid)
         return plid, True
 
     def _allocate(self, line: Line, enc: bytes, bucket_idx: int, sig: int,
@@ -435,6 +495,10 @@ class DedupStore:
         enc = self._enc_by_plid.pop(plid, None)
         if enc is None:
             enc = encode_line(line)
+        if self._index is not None:
+            # keyed off the *stored* encoding, so a silently corrupted
+            # line still unindexes cleanly (the audit flags it instead)
+            self._index.remove(CuckooIndex.key_of(enc), plid)
         bucket_idx = self.bucket_of(plid)
         bucket = self._buckets[bucket_idx]
         bucket.by_encoding.pop(enc, None)
@@ -491,3 +555,82 @@ class DedupStore:
                     "PLID %d refcount %d below internal references %d"
                     % (plid, rc, inside)
                 )
+
+    # ------------------------------------------------------------------
+    # lookup-by-content index
+
+    @property
+    def index(self) -> Optional[CuckooIndex]:
+        """The cuckoo index, or None under the legacy path."""
+        return self._index
+
+    def index_snapshot(self) -> Dict:
+        """JSON-safe view of the lookup-by-content path (stats json)."""
+        snap: Dict = {"kind": self.config.index_kind}
+        snap["false_positive_scans"] = self.counters.false_positive_scans
+        snap["bucket_overflows"] = self.counters.bucket_overflows
+        snap["signature_false_positives"] = \
+            self.counters.signature_false_positives
+        if self._index is not None:
+            snap["cuckoo"] = self._index.snapshot()
+        return snap
+
+    def reindex(self) -> None:
+        """Rebuild derived lookup state from the stored lines.
+
+        Used after :func:`repro.core.persistence.restore_machine`
+        repopulates ``_lines``/``_buckets`` directly: recaptures the
+        canonical encoding of every live line and, under the cuckoo
+        kind, rebuilds the index table from scratch. Charges no DRAM
+        (restore is out-of-band, like replication's export path).
+        """
+        if self._index is not None:
+            self._index = CuckooIndex(
+                initial_buckets=self.config.index_buckets,
+                slots_per_bucket=self.config.index_slots,
+                target_fp_rate=self.config.index_target_fp_rate,
+                stats=None, rows=None)
+        for plid, line in self._lines.items():
+            enc = self._enc_by_plid.get(plid)
+            if enc is None:
+                enc = encode_line(line)
+                self._enc_by_plid[plid] = enc
+            if self._index is not None:
+                self._index.insert(CuckooIndex.key_of(enc), plid)
+        if self._index is not None:
+            # rebuilt uncharged; live operation from here on is charged
+            self._index._dram = self.stats
+            self._index._rows = self.rows
+
+    def index_failures(self) -> List[str]:
+        """Prove the index is exactly reconstructible from live lines.
+
+        Keys are derived from each line's *actual stored content* (not
+        the captured allocation-time encoding), so a silently corrupted
+        line surfaces as an index mismatch here as well as in the
+        canonical-form audit. Returns failure strings; empty = clean.
+        """
+        failures: List[str] = []
+        if self._index is not None:
+            expected = {
+                plid: CuckooIndex.key_of(encode_line(line))
+                for plid, line in self._lines.items()
+            }
+            failures.extend(self._index.audit(expected))
+            return failures
+        # Legacy: the per-bucket by_encoding maps must exactly cover the
+        # live lines, each reachable under its current content hash.
+        total = sum(len(b.by_encoding) for b in self._buckets.values())
+        if total != len(self._lines):
+            failures.append(
+                "index: %d by_encoding entries for %d live lines"
+                % (total, len(self._lines)))
+        for plid, line in self._lines.items():
+            enc = encode_line(line)
+            bucket = self._buckets.get(
+                hashing.bucket_hash(enc, self._num_buckets))
+            if bucket is None or bucket.by_encoding.get(enc) != plid:
+                failures.append(
+                    "index: live PLID %d is not reachable by its content"
+                    % plid)
+        return failures

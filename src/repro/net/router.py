@@ -84,7 +84,8 @@ class ShardRouter:
                  recorder=None,
                  registry: Optional[MetricsRegistry] = None,
                  commit_mode: str = "merge",
-                 structural_memo: bool = True) -> None:
+                 structural_memo: bool = True,
+                 index_kind: str = "cuckoo") -> None:
         if shard_count < 1:
             raise ValueError("need at least one shard")
         if commit_mode not in ("merge", "bulk"):
@@ -99,7 +100,15 @@ class ShardRouter:
         #: ``before_commit`` hook stalls a shard worker between draining
         #: a batch and applying it (adversarial testing only).
         self.injector = injector
-        self.machine = machine if machine is not None else Machine()
+        # the serving stack opts into the cuckoo lookup-by-content index
+        # by default (index.py; legacy remains available for modeled
+        # experiments). ``index_kind`` only applies when the router owns
+        # its machine — a caller-supplied machine keeps its own config.
+        if machine is None:
+            from repro.params import MachineConfig, MemoryConfig
+            machine = Machine(MachineConfig(
+                memory=MemoryConfig(index_kind=index_kind)))
+        self.machine = machine
         self.servers = [backend_factory(self.machine)
                         for _ in range(shard_count)]
         self.handlers = [ProtocolHandler(server) for server in self.servers]
@@ -117,6 +126,7 @@ class ShardRouter:
         adapters.register_server_metrics(self.registry, self.metrics)
         adapters.register_dram_stats(self.registry, self.machine.mem.dram)
         adapters.register_router(self.registry, self)
+        adapters.register_index(self.registry, self.machine.mem.store)
         # the structural memo (PLID-keyed build/merge/fingerprint caches)
         # is off by default machine-wide so modeled-DRAM experiments stay
         # exact; the serving stack opts in — hits bypass modeled lookup
@@ -496,6 +506,7 @@ class ShardRouter:
             "pending_commits": self.pending_commits(),
             "footprint_bytes": self.machine.footprint_bytes(),
             "server": self.aggregate_server_stats(),
+            "index": self.machine.mem.store.index_snapshot(),
         })
 
     def stats_response(self, args: List[bytes]) -> bytes:

@@ -27,6 +27,7 @@ __all__ = [
     "register_replication_metrics",
     "register_dram_stats",
     "register_router",
+    "register_index",
     "register_memo",
     "register_cluster",
     "register_eviction",
@@ -285,6 +286,77 @@ def register_tenants(registry: MetricsRegistry, servers,
         registry.counter(prefix + field + "_total",
                          "tenant %s" % field, labels=("tenant",),
                          fn=lambda field=field: _sum(field))
+
+
+INDEX_PREFIX = "repro_index_"
+
+# StoreCounters fields exposed for the lookup-by-content path (the
+# legacy baseline reports the same counters, so scan-rate regressions
+# are comparable across index kinds).
+INDEX_STORE_FIELDS = (
+    "lookups", "lookup_hits", "false_positive_scans", "bucket_overflows",
+    "signature_false_positives", "overflow_allocations",
+)
+
+# Scalar CuckooIndexStats counters exposed as one event-labeled counter.
+INDEX_CUCKOO_EVENTS = (
+    "lookups", "hits", "inserts", "removes", "false_positive_scans",
+    "displacements", "fp_growth_events", "resizes_started",
+    "resizes_completed", "migrated_entries", "stash_inserts",
+)
+
+
+def register_index(registry: MetricsRegistry, store,
+                   prefix: str = INDEX_PREFIX) -> None:
+    """Expose a :class:`DedupStore`'s lookup-by-content path.
+
+    Same callback idiom as the other silos: `StoreCounters` /
+    `CuckooIndexStats` stay plain inline-bumped dataclasses; the
+    registry reads them live. Under the cuckoo kind this additionally
+    publishes the displacement-depth histogram, per-width bucket
+    counts, occupancy and resize progress.
+    """
+    registry.gauge(prefix + "kind_info",
+                   "active lookup-by-content index kind",
+                   labels=("kind",),
+                   fn=lambda: {store.config.index_kind: 1})
+    registry.counter(
+        prefix + "store_ops_total",
+        "store-level lookup path events",
+        labels=("event",),
+        fn=lambda: {name: getattr(store.counters, name)
+                    for name in INDEX_STORE_FIELDS})
+    index = store.index
+    if index is None:
+        return
+    stats = index.stats
+    registry.counter(
+        prefix + "cuckoo_events_total", "cuckoo index events",
+        labels=("event",),
+        fn=lambda: {name: getattr(stats, name)
+                    for name in INDEX_CUCKOO_EVENTS})
+    registry.counter(
+        prefix + "displacement_depth_total",
+        "inserts by displacement path length (0 = direct)",
+        labels=("depth",),
+        fn=lambda: {str(d): n
+                    for d, n in sorted(stats.depth_hist.items())})
+    registry.gauge(
+        prefix + "buckets_by_fp_bits",
+        "active-table buckets per adaptive fingerprint width",
+        labels=("bits",),
+        fn=lambda: {str(w): n for w, n in
+                    sorted(index.bucket_width_counts().items())})
+    registry.gauge(prefix + "entries", "entries indexed",
+                   fn=lambda: len(index))
+    registry.gauge(prefix + "buckets", "active-table buckets",
+                   fn=lambda: index.num_buckets)
+    registry.gauge(prefix + "occupancy",
+                   "active-table slot occupancy fraction",
+                   fn=lambda: round(index.occupancy(), 4))
+    registry.gauge(prefix + "resizing",
+                   "1 while an incremental resize is draining",
+                   fn=lambda: int(index.resizing))
 
 
 def register_router(registry: MetricsRegistry, router) -> None:

@@ -65,6 +65,20 @@ class MemoryConfig:
             DAG space overhead of 1/(fanout-1); set 8 to model 64-bit
             PLIDs (the footnote-6 worst case of 2x overhead at 16-byte
             lines).
+        index_kind: lookup-by-content resolution path. ``"legacy"`` is
+            the paper's Figure-2 organization (in-bucket signature
+            compare plus a linear overflow-chain scan); ``"cuckoo"``
+            routes lookups through :class:`repro.memory.index.
+            CuckooIndex` (XOR partial-key displacement, adaptive
+            fingerprint widths, online resize) while keeping physical
+            placement — and therefore PLIDs and fingerprints —
+            identical.
+        index_buckets: initial cuckoo-table buckets (power of two; the
+            table doubles online as it fills).
+        index_slots: entries per cuckoo bucket.
+        index_target_fp_rate: target false-positive full-line-compare
+            rate per probe; per-bucket fingerprint widths grow from 6
+            toward 16 bits to hold observed density under this rate.
     """
 
     line_bytes: int = 16
@@ -73,6 +87,10 @@ class MemoryConfig:
     overflow_lines: int = 1 << 20
     plid_bytes: int = 4
     verify_reads: bool = False
+    index_kind: str = "legacy"
+    index_buckets: int = 1 << 10
+    index_slots: int = 4
+    index_target_fp_rate: float = 0.02
 
     def __post_init__(self) -> None:
         if self.line_bytes % WORD_BYTES:
@@ -81,6 +99,16 @@ class MemoryConfig:
             raise ValueError("a line must hold at least two words to form a DAG")
         if self.plid_bytes not in (4, 8):
             raise ValueError("plid_bytes must be 4 or 8")
+        if self.index_kind not in ("legacy", "cuckoo"):
+            raise ValueError(
+                "index_kind must be 'legacy' or 'cuckoo', not %r"
+                % (self.index_kind,))
+        if self.index_buckets < 2 or self.index_buckets & (self.index_buckets - 1):
+            raise ValueError("index_buckets must be a power of two >= 2")
+        if not 1 <= self.index_slots <= 8:
+            raise ValueError("index_slots must be 1..8")
+        if not 0.0 < self.index_target_fp_rate <= 1.0:
+            raise ValueError("index_target_fp_rate must be in (0, 1]")
 
     @property
     def words_per_line(self) -> int:

@@ -21,6 +21,12 @@ bundles them into one :class:`AuditReport`.
   readable end to end; and each root is the **canonical form** of its
   own content (rebuilding the segment's words reproduces the root,
   bit for bit).
+* :func:`audit_index` — the lookup-by-content index (legacy bucket maps
+  or the cuckoo table) is exactly reconstructible from the live lines:
+  every live line is reachable under its *current* content, no stale or
+  duplicate entries exist, and cuckoo entries sit in one of their two
+  candidate buckets. The canonical-form audit stays the oracle; this
+  proves the index adds no state of its own.
 
 Auditors are read-mostly: the canonical-form rebuild allocates through
 the dedup store and releases everything it allocated, leaving the
@@ -206,13 +212,26 @@ def audit_segment_map(machine: Machine) -> List[str]:
     return failures
 
 
+def audit_index(machine: Machine) -> List[str]:
+    """Check the lookup-by-content index against the live lines.
+
+    Delegates to :meth:`repro.memory.dedup_store.DedupStore.
+    index_failures`, which derives the expected index from each line's
+    actual stored content — so the index is proven reconstructible, and
+    a silently corrupted line shows up here as well as in
+    :func:`audit_dedup`.
+    """
+    return machine.mem.store.index_failures()
+
+
 def audit_machine(machine: Machine, strict: bool = False) -> AuditReport:
     """Run every auditor; ``strict`` enables refcount-leak detection."""
     report = AuditReport()
     store = machine.mem.store
     for failures in (audit_refcounts(machine, strict=strict),
                      audit_dedup(machine),
-                     audit_segment_map(machine)):
+                     audit_segment_map(machine),
+                     audit_index(machine)):
         report.failures.extend(failures)
     report.checks = len(store.live_plids()) + len(machine.segmap)
     return report

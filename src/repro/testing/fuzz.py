@@ -69,6 +69,13 @@ class EpisodeConfig:
     #: alternative backend factory for the server under test (the
     #: ``expiry`` profile runs against ManagedMemcached); None = plain
     backend: Optional[Callable] = None
+    #: lookup-by-content index of the machine under test ("legacy" or
+    #: "cuckoo"); trace content is index-independent by construction
+    index_kind: str = "legacy"
+    #: initial cuckoo-table buckets; a deliberately tiny value forces
+    #: online resizes to complete *during* the episode (0 = config
+    #: default)
+    index_buckets: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -308,6 +315,10 @@ class EpisodeResult:
     #: sequence, so its count is seed-deterministic; the timing-keyed
     #: points need not be — this is debug data, never part of ``trace``)
     fired: Dict[str, int] = field(default_factory=dict)
+    #: end-of-episode DedupStore.index_snapshot() — like ``fired``,
+    #: debug data outside the seed-deterministic ``trace`` (resize and
+    #: migration progress depend on operation timing)
+    index: Dict = field(default_factory=dict)
 
 
 async def _run_episode(seed: int, cfg: EpisodeConfig,
@@ -317,7 +328,14 @@ async def _run_episode(seed: int, cfg: EpisodeConfig,
         rates.update(cfg.rates)
     plan = FaultPlan(seed, rates, max_stall=cfg.max_stall)
     injector = FaultInjector(plan)
-    machine = Machine()
+    if cfg.index_kind != "legacy" or cfg.index_buckets:
+        from repro.params import MachineConfig, MemoryConfig
+        mem_kwargs = {"index_kind": cfg.index_kind}
+        if cfg.index_buckets:
+            mem_kwargs["index_buckets"] = cfg.index_buckets
+        machine = Machine(MachineConfig(memory=MemoryConfig(**mem_kwargs)))
+    else:
+        machine = Machine()
     backend_kwargs = {} if cfg.backend is None \
         else {"backend_factory": cfg.backend}
     server = MemcachedServer(
@@ -378,7 +396,8 @@ async def _run_episode(seed: int, cfg: EpisodeConfig,
     ok = not failures
     trace.append("result=%s" % ("ok" if ok else "FAILED"))
     return EpisodeResult(seed=seed, ok=ok, trace=trace, failures=failures,
-                         fired=dict(injector.fired))
+                         fired=dict(injector.fired),
+                         index=machine.mem.store.index_snapshot())
 
 
 def episode_seed(seed: int, index: int) -> int:

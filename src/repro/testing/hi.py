@@ -75,6 +75,13 @@ class HIConfig:
     delete_ratio: float = 0.25
     shard_bits: int = 2             # ShardedHMap fan-out
     matrix_size: int = 32           # QuadTreeMatrix dimension (pow 2)
+    #: lookup-by-content index of the machines the schedules run on;
+    #: the observations must be identical under either kind (the index
+    #: is proven an implementation detail by the cross-kind tests)
+    index_kind: str = "legacy"
+    #: initial cuckoo-table buckets (0 = config default); tiny values
+    #: force online resizes during the schedules
+    index_buckets: int = 0
 
 
 def _derive(seed: int, label: str) -> int:
@@ -235,7 +242,14 @@ def _apply_map(target, schedule, mode: str, rng) -> None:
 def _execute(structure: str, schedule: Sequence[Tuple], mode: str,
              memo: bool, rng_seed: int, cfg: HIConfig) -> Observation:
     """One schedule on a fresh machine; returns its observation."""
-    machine = Machine()
+    if cfg.index_kind != "legacy" or cfg.index_buckets:
+        from repro.params import MachineConfig, MemoryConfig
+        mem_kwargs = {"index_kind": cfg.index_kind}
+        if cfg.index_buckets:
+            mem_kwargs["index_buckets"] = cfg.index_buckets
+        machine = Machine(MachineConfig(memory=MemoryConfig(**mem_kwargs)))
+    else:
+        machine = Machine()
     if memo:
         machine.mem.memo.enable()
     baseline = (machine.footprint_lines(), machine.footprint_bytes())
