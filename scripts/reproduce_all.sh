@@ -29,6 +29,7 @@ run hotpath --out benchmarks/out/hotpath.json
 run cluster ${SMOKE_FLAG}
 run scale ${SMOKE_FLAG}
 run dedup-index ${SMOKE_FLAG}
+run reclaim ${SMOKE_FLAG}
 
 echo "==> repro bench aggregate"
 python -m repro.cli.main bench aggregate

@@ -258,7 +258,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         from repro.testing.hi import HIConfig, run_hi
 
         cfg = HIConfig(schedules=args.schedules, keys=args.keys,
-                       ops=args.ops, index_kind=args.index_kind)
+                       ops=args.ops, index_kind=args.index_kind,
+                       reclaim_kind=args.reclaim_kind)
         report = run_hi(episodes=args.episodes, seed=args.seed, cfg=cfg)
     elif args.profile == "expiry":
         from repro.testing.fuzz import expiry_config, run_fuzz
@@ -268,6 +269,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                             pipeline_depth=args.pipeline,
                             key_space=args.keys, shards=args.shards)
         cfg.index_kind = args.index_kind
+        cfg.reclaim_kind = args.reclaim_kind
         report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
     elif args.profile == "cluster":
         from repro.cluster.fuzz import ClusterEpisodeConfig, run_fuzz
@@ -290,7 +292,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         cfg = EpisodeConfig(clients=args.clients, ops_per_client=args.ops,
                             pipeline_depth=args.pipeline,
                             key_space=args.keys, shards=args.shards,
-                            index_kind=args.index_kind)
+                            index_kind=args.index_kind,
+                            reclaim_kind=args.reclaim_kind)
         report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
     print(report.render(verbose=args.verbose))
     return 0 if report.ok else 1
@@ -584,6 +587,29 @@ def _cmd_bench_dedup_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_reclaim(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import reclaimbench
+
+    report = reclaimbench.run_reclaim_bench(smoke=args.smoke)
+    out = pathlib.Path(args.out or reclaimbench.DEFAULT_OUT)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(reclaimbench.render(report))
+        print("  -> %s" % out)
+    if args.check is not None:
+        problems = reclaimbench.check_floor(report, args.check)
+        for problem in problems:
+            print("bench reclaim: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+    return 0
+
+
 def _cmd_bench_aggregate(args: argparse.Namespace) -> int:
     import json
 
@@ -617,6 +643,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_scale(args)
     if args.target == "dedup-index":
         return _cmd_bench_dedup_index(args)
+    if args.target == "reclaim":
+        return _cmd_bench_reclaim(args)
     if args.target == "aggregate":
         return _cmd_bench_aggregate(args)
     report = run_hotpath(scale=args.scale)
@@ -865,6 +893,11 @@ def build_parser() -> argparse.ArgumentParser:
                       default="legacy",
                       help="lookup-by-content index of the machine "
                            "under test (serving/expiry/hi profiles)")
+    p_fz.add_argument("--reclaim-kind", choices=("immediate", "epoch"),
+                      default="immediate",
+                      help="reclamation of the machine under test "
+                           "(serving/expiry/hi profiles); epoch defers "
+                           "frees and quiesces before the auditors")
     p_fz.add_argument("--verbose", action="store_true",
                       help="print the full trace of passing episodes too")
     p_fz.set_defaults(func=_cmd_fuzz)
@@ -901,17 +934,20 @@ def build_parser() -> argparse.ArgumentParser:
              "read-scaling and recovery")
     p_bench.add_argument("target",
                          choices=("hotpath", "cluster", "scale",
-                                  "dedup-index", "aggregate"),
+                                  "dedup-index", "reclaim", "aggregate"),
                          help="benchmark suite to run (dedup-index: "
                               "lookup-by-content cuckoo vs legacy at "
-                              "overflow scale; aggregate: merge every "
-                              "bench JSON into benchmarks/out/"
-                              "trajectory.json)")
+                              "overflow scale; reclaim: p99/p999 commit "
+                              "latency under churny overwrites + "
+                              "big-root drops, epoch vs immediate; "
+                              "aggregate: merge every bench JSON into "
+                              "benchmarks/out/trajectory.json)")
     p_bench.add_argument("--scale", type=int, default=1,
                          help="repetition multiplier (default 1)")
     p_bench.add_argument("--smoke", action="store_true",
-                         help="scale/dedup-index: CI tier (small key "
-                              "counts, seconds instead of minutes)")
+                         help="scale/dedup-index/reclaim: CI tier "
+                              "(small key counts, seconds instead of "
+                              "minutes)")
     p_bench.add_argument("--keys", type=int, default=0,
                          help="scale: total keys across workers "
                               "(default 1M, or 20k with --smoke); "
@@ -935,7 +971,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "populate ops/s falls below it (or any "
                               "serve-phase error/miss); dedup-index: "
                               "exit 1 if the legacy/cuckoo DRAM or p99 "
-                              "ratio is below it")
+                              "ratio is below it; reclaim: exit 1 if "
+                              "the immediate/epoch p99 commit-latency "
+                              "ratio is below it or post-quiesce state "
+                              "diverges")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_demo = sub.add_parser("demo", help="one-minute architecture tour")

@@ -59,8 +59,15 @@ def _entry_from_json(obj) -> Any:
 
 
 def machine_image(machine: Machine) -> Dict[str, Any]:
-    """The machine's durable state as a JSON-safe document."""
+    """The machine's durable state as a JSON-safe document.
+
+    Quiesces epoch-deferred reclamation first (a no-op under
+    ``reclaim_kind="immediate"``): deferred-dead lines must not be
+    serialized — restoring them would leak count-zero lines into a
+    machine with no reclaimer queue entry pointing at them.
+    """
     store = machine.mem.store
+    store.reclaim_quiesce()
     mc = machine.config
     lines = {str(plid): [_word_to_json(w) for w in store.peek(plid)]
              for plid in store.live_plids()}
@@ -87,6 +94,7 @@ def machine_image(machine: Machine) -> Dict[str, Any]:
             "index_kind": mc.memory.index_kind,
             "index_buckets": mc.memory.index_buckets,
             "index_slots": mc.memory.index_slots,
+            "reclaim_kind": mc.memory.reclaim_kind,
             "cache_bytes": mc.cache.size_bytes,
             "cache_ways": mc.cache.ways,
             "path_compaction": mc.path_compaction,
@@ -95,7 +103,7 @@ def machine_image(machine: Machine) -> Dict[str, Any]:
             "n_processors": mc.n_processors,
         },
         "next_overflow": store._next_overflow,
-        "free_overflow": list(store._free_overflow),
+        "free_overflow": list(store.slots.free_overflow),
         "overflow_bucket": {str(p): b
                             for p, b in store._overflow_bucket.items()},
         "lines": lines,
@@ -135,7 +143,10 @@ def restore_machine(image: Dict[str, Any]) -> Machine:
                                 # older images predate the index switch
                                 index_kind=cfg.get("index_kind", "legacy"),
                                 index_buckets=cfg.get("index_buckets", 1 << 10),
-                                index_slots=cfg.get("index_slots", 4)),
+                                index_slots=cfg.get("index_slots", 4),
+                                # and the reclamation switch
+                                reclaim_kind=cfg.get("reclaim_kind",
+                                                     "immediate")),
             cache=CacheGeometry(size_bytes=cfg["cache_bytes"],
                                 ways=cfg["cache_ways"],
                                 line_bytes=cfg["line_bytes"]),
@@ -171,7 +182,8 @@ def restore_machine(image: Dict[str, Any]) -> Machine:
             store._lines[plid] = line
             store._refcounts[plid] = image["refcounts"][plid_str]
         store._next_overflow = image["next_overflow"]
-        store._free_overflow = list(image["free_overflow"])
+        store.slots.free_overflow[:] = [int(p) for p
+                                        in image["free_overflow"]]
         # recapture canonical encodings (and rebuild the cuckoo table
         # when the image was saved under index_kind="cuckoo")
         store.reindex()

@@ -23,6 +23,7 @@ from repro.memory.line import (
 from repro.memory.stats import DramStats, TrafficCounter
 from repro.memory.dedup_store import DedupStore
 from repro.memory.index import CuckooIndex, CuckooIndexStats, compute_fp_bits
+from repro.memory.reclaim import EpochReclaimer, ReclaimStats, SlotAllocator
 from repro.memory.cache import HicampCache
 from repro.memory.system import MemorySystem
 from repro.memory.conventional import CacheLevel, ConventionalMemory
@@ -44,6 +45,9 @@ __all__ = [
     "CuckooIndex",
     "CuckooIndexStats",
     "compute_fp_bits",
+    "EpochReclaimer",
+    "ReclaimStats",
+    "SlotAllocator",
     "HicampCache",
     "MemorySystem",
     "CacheLevel",

@@ -24,6 +24,13 @@ entry, decremented when such a reference is dropped — and deallocation is
 recursive over a line's tagged child PLIDs (the paper's hardware state
 machine). RC traffic is filtered through a modelled RC cache so only
 spills/fills reach the DRAM counters, as in the paper.
+
+Under ``MemoryConfig.reclaim_kind="epoch"`` the recursive walk moves off
+the release site: a line reaching zero is deferred (O(1)) to an
+:class:`repro.memory.reclaim.EpochReclaimer` and freed later by bounded
+drains between commit batches; slot reuse in either kind goes through a
+:class:`repro.memory.reclaim.SlotAllocator` free list that reproduces
+the legacy lowest-free-way / LIFO-overflow placement exactly.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from repro.memory.line import (
     zero_line,
 )
 from repro.memory.memo import StructuralMemo
+from repro.memory.reclaim import EpochReclaimer, SlotAllocator
 from repro.memory.stats import DramStats, RowBuffer
 from repro.params import MemoryConfig
 
@@ -90,22 +98,51 @@ class _RcCache:
         self._rows = rows
         self._row_of = row_of
         self._entries: "OrderedDict[int, bool]" = OrderedDict()  # plid -> dirty
+        self.hits = 0    # touches that found a cached RC entry
+        self.fills = 0   # charged fills from DRAM
+        self.spills = 0  # charged dirty evictions to DRAM
+
+    @property
+    def capacity(self) -> int:
+        """Current entry capacity (resize-aware, see :meth:`resize`)."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
     def touch(self, plid: int, creating: bool = False) -> None:
         """Record an RC update to ``plid``, charging DRAM on fill/spill."""
         if plid in self._entries:
+            self.hits += 1
             self._entries.move_to_end(plid)
             self._entries[plid] = True
             return
         if not creating:
             self._stats.refcount += 1  # fill the RC entry from DRAM
             self._rows.access(self._row_of(plid))
+            self.fills += 1
         self._entries[plid] = True
         if len(self._entries) > self._capacity:
             victim, dirty = self._entries.popitem(last=False)
             if dirty:
                 self._stats.refcount += 1  # spill dirty RC entry to DRAM
                 self._rows.access(self._row_of(victim))
+                self.spills += 1
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity, spilling LRU overflow when shrinking.
+
+        The store scales the RC cache with the cuckoo index's bucket
+        count after an online resize (the resident-line population the
+        index grew to hold is the RC working set too).
+        """
+        self._capacity = max(1, capacity)
+        while len(self._entries) > self._capacity:
+            victim, dirty = self._entries.popitem(last=False)
+            if dirty:
+                self._stats.refcount += 1
+                self._rows.access(self._row_of(victim))
+                self.spills += 1
 
     def drop(self, plid: int) -> None:
         """Discard the entry for a deallocated line (no writeback)."""
@@ -135,7 +172,9 @@ class DedupStore:
         self._data_ways = self.config.data_ways
         self._overflow_base = (self._data_ways + 1) * self._num_buckets
         self._next_overflow = self._overflow_base
-        self._free_overflow: List[int] = []
+        #: free-list allocator over bucket ways and overflow slots;
+        #: placement decisions are byte-identical to the original scans
+        self._slots = SlotAllocator(self._data_ways)
         self._buckets: Dict[int, _Bucket] = {}
         self._lines: Dict[int, Line] = {}
         self._refcounts: Dict[int, int] = {}
@@ -143,6 +182,7 @@ class DedupStore:
         self._overflow_bucket: Dict[int, int] = {}
         #: open-row DRAM model (hash bucket == DRAM row, section 3.1)
         self.rows = RowBuffer()
+        self._rc_base_entries = rc_cache_entries
         self._rc_cache = _RcCache(rc_cache_entries, self.stats, self.rows,
                                   self._row_of)
         self._zero = zero_line(self.config.words_per_line)
@@ -168,6 +208,20 @@ class DedupStore:
                 slots_per_bucket=self.config.index_slots,
                 target_fp_rate=self.config.index_target_fp_rate,
                 stats=self.stats, rows=self.rows)
+            # resize-aware RC-cache sizing: an online index resize means
+            # the resident-line population outgrew the startup estimate,
+            # so the RC working set did too
+            self._index.resize_listeners.append(self._on_index_resize)
+        #: opt-in epoch-deferred reclamation (reclaim.py). ``immediate``
+        #: keeps the paper's inline recursive dealloc byte-identical.
+        self._reclaimer: Optional[EpochReclaimer] = None
+        if self.config.reclaim_kind == "epoch":
+            self._reclaimer = EpochReclaimer(self)
+
+    def _on_index_resize(self, num_buckets: int) -> None:
+        """Scale the RC cache with the index's post-resize capacity."""
+        self._rc_cache.resize(
+            max(self._rc_base_entries, num_buckets * self._index.slots))
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -393,20 +447,21 @@ class DedupStore:
 
     def _allocate(self, line: Line, enc: bytes, bucket_idx: int, sig: int,
                   bucket: _Bucket) -> int:
-        """Claim a way (or an overflow slot) for new content."""
-        way = next(
-            (w for w in range(1, self._data_ways + 1) if bucket.signatures[w] == 0),
-            None,
-        )
+        """Claim a way (or an overflow slot) for new content.
+
+        Slot choice goes through the :class:`SlotAllocator` free lists;
+        the claimed way/overflow PLID — and all DRAM charging — are
+        byte-identical to the original inline scans.
+        """
+        way = self._slots.claim_way(bucket_idx, bucket.signatures)
         if way is not None:
             plid = way * self._num_buckets + bucket_idx
             bucket.signatures[way] = sig
             self.stats.lookups += 1  # signature line written back
             self.rows.access(bucket_idx)
         else:
-            if self._free_overflow:
-                plid = self._free_overflow.pop()
-            else:
+            plid = self._slots.claim_overflow()
+            if plid is None:
                 plid = self._next_overflow
                 self._next_overflow += 1
                 if plid - self._overflow_base >= self.config.overflow_lines:
@@ -483,9 +538,29 @@ class DedupStore:
                 continue
             if rc < 0:
                 raise BadPlidError("refcount underflow on PLID %d" % p)
+            if self._reclaimer is not None:
+                # O(1) hot-path free: the line stays resident at count
+                # zero (resurrectable by content lookup); the subtree
+                # walk and the dealloc listeners run at drain time.
+                self._refcounts[p] = 0
+                self._rc_cache.touch(p)
+                self._reclaimer.on_zero(p)
+                continue
             for child in line_child_plids(self._lines[p]):
                 work.append((child, 1))
             self._deallocate(p)
+
+    def _reclaim_one(self, plid: int) -> None:
+        """Drain-time free of one deferred line.
+
+        Children-first by deferral: each child loses its reference
+        through the normal decref path, so a child reaching zero is
+        itself deferred rather than freed inline — one call does
+        O(fanout) work. Only then is the line deallocated (listeners,
+        index removal, slot release)."""
+        for child in line_child_plids(self._lines[plid]):
+            self.decref(child, 1)
+        self._deallocate(plid)
 
     def _deallocate(self, plid: int) -> None:
         """Free a line: zero its signature and release its way."""
@@ -505,9 +580,11 @@ class DedupStore:
         if plid >= self._overflow_base:
             bucket.overflow.remove(plid)
             self._overflow_bucket.pop(plid, None)
-            self._free_overflow.append(plid)
+            self._slots.release_overflow(plid)
         else:
-            bucket.signatures[plid // self._num_buckets] = 0
+            way = plid // self._num_buckets
+            bucket.signatures[way] = 0
+            self._slots.release_way(bucket_idx, way)
         del self._refcounts[plid]
         self._pending_write.discard(plid)
         self._rc_cache.drop(plid)
@@ -521,7 +598,10 @@ class DedupStore:
     # accounting / inspection
 
     def footprint_lines(self) -> int:
-        """Number of allocated (unique) lines, excluding the zero line."""
+        """Number of allocated (unique) lines, excluding the zero line.
+
+        Under epoch reclamation this includes deferred-dead lines until
+        they drain; quiesce first for immediate-equivalent numbers."""
         return len(self._lines)
 
     def footprint_bytes(self) -> int:
@@ -557,6 +637,56 @@ class DedupStore:
                 )
 
     # ------------------------------------------------------------------
+    # reclamation
+
+    @property
+    def reclaimer(self) -> Optional[EpochReclaimer]:
+        """The epoch reclaimer, or None under ``immediate`` reclamation."""
+        return self._reclaimer
+
+    @property
+    def slots(self) -> SlotAllocator:
+        """The free-list slot allocator (persistence serializes its
+        overflow stack)."""
+        return self._slots
+
+    def reclaim_advance(self, budget: Optional[int] = None) -> int:
+        """Advance the reclamation epoch and drain up to ``budget``
+        deferred lines; a no-op (0) under ``immediate`` reclamation.
+        The shard router calls this between commit batches."""
+        if self._reclaimer is None:
+            return 0
+        return self._reclaimer.advance(budget)
+
+    def reclaim_quiesce(self) -> int:
+        """Synchronously drain *all* deferred reclamation (no-op under
+        ``immediate``). After this, state is byte-identical to an
+        immediate-kind store that ran the same workload — the contract
+        audits, persistence images and fingerprint observers rely on."""
+        if self._reclaimer is None:
+            return 0
+        return self._reclaimer.quiesce()
+
+    def reclaim_snapshot(self) -> Dict:
+        """JSON-safe view of reclamation state (stats json; schema-safe:
+        every key is present under both kinds)."""
+        snap: Dict = {
+            "kind": self.config.reclaim_kind,
+            "free_slots": self._slots.free_slots(),
+            "allocator": self._slots.snapshot(),
+        }
+        if self._reclaimer is not None:
+            snap.update(self._reclaimer.snapshot())
+        else:
+            snap.update({
+                "epoch": 0, "pending_lines": 0, "deferred_total": 0,
+                "drained_freed": 0, "drained_resurrected": 0,
+                "drained_stale": 0, "epochs_advanced": 0, "quiesces": 0,
+                "max_pending": 0,
+            })
+        return snap
+
+    # ------------------------------------------------------------------
     # lookup-by-content index
 
     @property
@@ -590,6 +720,7 @@ class DedupStore:
                 slots_per_bucket=self.config.index_slots,
                 target_fp_rate=self.config.index_target_fp_rate,
                 stats=None, rows=None)
+            self._index.resize_listeners.append(self._on_index_resize)
         for plid, line in self._lines.items():
             enc = self._enc_by_plid.get(plid)
             if enc is None:

@@ -210,6 +210,9 @@ class CuckooIndex:
         #: populated when a placement fails mid-resize, drained when the
         #: resize completes
         self._stash: List[Tuple[int, int]] = []
+        #: callbacks fired with the new bucket count when an online
+        #: resize completes (the store scales its RC cache here)
+        self.resize_listeners: List = []
 
     # ------------------------------------------------------------------
     # geometry / introspection
@@ -493,6 +496,8 @@ class CuckooIndex:
             # back-to-back growth under sustained ingest
             if self.occupancy() > self.max_load:
                 self._start_resize()
+            for listener in self.resize_listeners:
+                listener(self._active.num_buckets)
 
     def _drain_stash(self) -> None:
         if not self._stash:

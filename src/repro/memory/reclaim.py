@@ -1,0 +1,266 @@
+"""Epoch-deferred reclamation and free-list slot allocation.
+
+HICAMP's recursive refcount deallocation (the paper's hardware state
+machine behind :meth:`~repro.memory.dedup_store.DedupStore.decref`) is
+the last unbounded hot-path operation in the reproduction: dropping a
+big root to zero cascades decrements through the whole subtree,
+stalling the commit that dropped it. Following the constant-time
+allocate/free line of work (Blelloch & Wei) and immediate-reclamation
+hardware primitives (Singh/Brown/Spear) referenced in PAPERS.md, this
+module splits that work off the commit site:
+
+* :class:`EpochReclaimer` — the store calls :meth:`EpochReclaimer.
+  on_zero` when a line's count reaches zero under
+  ``reclaim_kind="epoch"``. The hot path only appends the PLID to a
+  per-epoch deferral queue (O(1)); the line stays resident at count
+  zero. :meth:`EpochReclaimer.drain` then walks deferred subtrees
+  incrementally under a budget — freeing a line decrements its
+  children, and any child that reaches zero is *re-deferred* to the
+  tail of the queue, so one call never does more than
+  ``budget * fanout`` decrements. :meth:`EpochReclaimer.advance` is
+  wired into the shard router between commit batches;
+  :meth:`EpochReclaimer.quiesce` drains everything synchronously for
+  audits, persistence images and replication FORGET flushing.
+
+* :class:`SlotAllocator` — a free-list over line slots (per-bucket way
+  bitmasks plus the overflow-area stack) so
+  :meth:`~repro.memory.dedup_store.DedupStore._allocate` reuses slots
+  released by drained epochs in O(1) instead of growing the PLID
+  space under churn. Way selection stays *lowest-free-way* and
+  overflow reuse stays LIFO, byte-identical to the legacy scan, so
+  PLID assignment — and therefore machine images and modeled paper
+  statistics — does not depend on this module.
+
+Two consequences of deferral are deliberate:
+
+* **dealloc listeners fire at drain time**, not at release time. The
+  memo invalidation, index unindex, RC-cache drop and replication
+  FORGET hooks all key off a PLID that is about to be *reused* — and a
+  deferred line's slot is not reusable until it is actually freed, so
+  firing late is not just safe but required for the FORGET protocol's
+  "a known PLID is never silently reused" invariant.
+* **deferred-dead lines can resurrect**: the content indexes still map
+  their content, so a lookup landing on a count-zero line simply
+  increments it back to one (a dedup hit). The drain recognizes the
+  resurrection (count > 0) and skips the queue entry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+@dataclass
+class SlotAllocatorStats:
+    """Free-list maintenance counters (diagnostics)."""
+
+    ways_reused: int = 0        # bucket ways claimed off a free mask
+    overflow_reused: int = 0    # overflow slots claimed off the stack
+    mask_builds: int = 0        # lazy mask constructions from signatures
+
+
+class SlotAllocator:
+    """Free-list over line slots: bucket ways and overflow PLIDs.
+
+    Per-bucket free ways are tracked as a bitmask (bit ``w`` set = way
+    ``w`` free), built lazily from the bucket's signature line the
+    first time the bucket allocates and kept in sync on every release —
+    claiming the lowest set bit reproduces the legacy lowest-free-way
+    scan exactly, in O(1). The overflow free list is a LIFO stack,
+    identical to the store's original behaviour.
+    """
+
+    def __init__(self, data_ways: int) -> None:
+        self.data_ways = data_ways
+        self.stats = SlotAllocatorStats()
+        self._way_masks: Dict[int, int] = {}
+        #: recycled overflow-area PLIDs (LIFO); persistence serializes
+        #: this list verbatim under the image's ``free_overflow`` key
+        self.free_overflow: List[int] = []
+
+    # ------------------------------------------------------------------
+    # bucket ways
+
+    def claim_way(self, bucket_idx: int, signatures: List[int]
+                  ) -> Optional[int]:
+        """Lowest free way of a bucket, or None when the bucket is full."""
+        mask = self._way_masks.get(bucket_idx)
+        if mask is None:
+            mask = 0
+            for w in range(1, self.data_ways + 1):
+                if signatures[w] == 0:
+                    mask |= 1 << w
+            self.stats.mask_builds += 1
+        if not mask:
+            self._way_masks[bucket_idx] = 0
+            return None
+        low = mask & -mask
+        self._way_masks[bucket_idx] = mask ^ low
+        self.stats.ways_reused += 1
+        return low.bit_length() - 1
+
+    def release_way(self, bucket_idx: int, way: int) -> None:
+        """Return a way to its bucket's free mask (if one is built)."""
+        mask = self._way_masks.get(bucket_idx)
+        if mask is not None:
+            self._way_masks[bucket_idx] = mask | (1 << way)
+        # no mask yet: the lazy build will see the zeroed signature
+
+    # ------------------------------------------------------------------
+    # overflow slots
+
+    def claim_overflow(self) -> Optional[int]:
+        """Pop a recycled overflow PLID, or None when the stack is empty."""
+        if self.free_overflow:
+            self.stats.overflow_reused += 1
+            return self.free_overflow.pop()
+        return None
+
+    def release_overflow(self, plid: int) -> None:
+        """Push a freed overflow PLID for reuse."""
+        self.free_overflow.append(plid)
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def free_slots(self) -> int:
+        """Tracked free-list occupancy: free ways in built masks plus
+        recycled overflow slots (the obs free-list gauge)."""
+        ways = sum(bin(mask).count("1")
+                   for mask in self._way_masks.values())
+        return ways + len(self.free_overflow)
+
+    def snapshot(self) -> Dict:
+        """JSON-safe free-list state and maintenance counters."""
+        return {
+            "free_ways": self.free_slots() - len(self.free_overflow),
+            "free_overflow": len(self.free_overflow),
+            "ways_reused": self.stats.ways_reused,
+            "overflow_reused": self.stats.overflow_reused,
+            "mask_builds": self.stats.mask_builds,
+        }
+
+
+@dataclass
+class ReclaimStats:
+    """Lifecycle counters of the epoch reclaimer."""
+
+    deferred_total: int = 0       # release-to-zero pushes (O(1) frees)
+    drained_freed: int = 0        # deferred lines actually deallocated
+    drained_resurrected: int = 0  # entries skipped: content re-looked-up
+    drained_stale: int = 0        # entries skipped: already freed
+    epochs_advanced: int = 0
+    quiesces: int = 0
+    max_pending: int = 0          # deepest the deferral queue has been
+
+
+class EpochReclaimer:
+    """Per-epoch deferral queue with bounded incremental drain.
+
+    Owned by a :class:`~repro.memory.dedup_store.DedupStore` running
+    under ``reclaim_kind="epoch"``; the store routes every
+    release-to-zero through :meth:`on_zero` and performs the actual
+    per-line free when the drain calls back into
+    ``DedupStore._reclaim_one``.
+    """
+
+    kind = "epoch"
+
+    def __init__(self, store) -> None:
+        self._store = store
+        #: (epoch sealed in, plid) in deferral order; children freed by
+        #: the drain re-defer to the tail, keeping any single drain
+        #: step O(fanout)
+        self._pending: Deque[Tuple[int, int]] = deque()
+        self.epoch = 0
+        self.stats = ReclaimStats()
+
+    # ------------------------------------------------------------------
+    # hot path
+
+    def on_zero(self, plid: int) -> None:
+        """Defer a released-to-zero line — O(1), no subtree walk."""
+        self._pending.append((self.epoch, plid))
+        self.stats.deferred_total += 1
+        if len(self._pending) > self.stats.max_pending:
+            self.stats.max_pending = len(self._pending)
+
+    # ------------------------------------------------------------------
+    # drains
+
+    def pending(self) -> int:
+        """Deferred lines awaiting reclamation."""
+        return len(self._pending)
+
+    def drain(self, budget: Optional[int] = None) -> int:
+        """Free up to ``budget`` deferred lines (all of them if None).
+
+        Children-first in effect: freeing a line decrements its
+        children through the store's normal decref, and any child
+        reaching zero re-defers to the tail of this same queue — so an
+        unbudgeted drain reclaims whole subtrees and a budgeted one
+        makes monotonic progress without ever exceeding
+        ``budget * fanout`` decrements. Returns the lines freed.
+        """
+        store = self._store
+        freed = 0
+        while self._pending and (budget is None or freed < budget):
+            _, plid = self._pending.popleft()
+            if plid not in store._lines:
+                # freed by an earlier queue entry for the same PLID
+                self.stats.drained_stale += 1
+                continue
+            if store._refcounts.get(plid, 0) > 0:
+                # resurrected: a content lookup found the dead line and
+                # revived it (dedup hit); it is live again, skip
+                self.stats.drained_resurrected += 1
+                continue
+            store._reclaim_one(plid)
+            self.stats.drained_freed += 1
+            freed += 1
+        return freed
+
+    def advance(self, budget: Optional[int] = None) -> int:
+        """Seal the current epoch and drain up to ``budget`` lines.
+
+        The shard router calls this between commit batches: frees
+        deferred by one batch are reclaimed — bounded — before the
+        next batch commits. Returns the lines freed.
+        """
+        self.epoch += 1
+        self.stats.epochs_advanced += 1
+        return self.drain(budget)
+
+    def quiesce(self) -> int:
+        """Drain *everything* synchronously; returns the lines freed.
+
+        The contract point for every observer of exact state: machine
+        audits, history-independence fingerprints, persistence images
+        and replication FORGET flushing all quiesce first (wired
+        through :meth:`repro.memory.system.MemorySystem.drain`), after
+        which the store is byte-identical to an
+        ``reclaim_kind="immediate"`` store that ran the same workload.
+        """
+        self.stats.quiesces += 1
+        self.epoch += 1
+        self.stats.epochs_advanced += 1
+        return self.drain(None)
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def snapshot(self) -> Dict:
+        """JSON-safe view (obs adapter / ``stats json``)."""
+        return {
+            "epoch": self.epoch,
+            "pending_lines": len(self._pending),
+            "deferred_total": self.stats.deferred_total,
+            "drained_freed": self.stats.drained_freed,
+            "drained_resurrected": self.stats.drained_resurrected,
+            "drained_stale": self.stats.drained_stale,
+            "epochs_advanced": self.stats.epochs_advanced,
+            "quiesces": self.stats.quiesces,
+            "max_pending": self.stats.max_pending,
+        }

@@ -85,7 +85,9 @@ class ShardRouter:
                  registry: Optional[MetricsRegistry] = None,
                  commit_mode: str = "merge",
                  structural_memo: bool = True,
-                 index_kind: str = "cuckoo") -> None:
+                 index_kind: str = "cuckoo",
+                 reclaim_kind: str = "epoch",
+                 reclaim_budget: int = 512) -> None:
         if shard_count < 1:
             raise ValueError("need at least one shard")
         if commit_mode not in ("merge", "bulk"):
@@ -101,14 +103,19 @@ class ShardRouter:
         #: a batch and applying it (adversarial testing only).
         self.injector = injector
         # the serving stack opts into the cuckoo lookup-by-content index
-        # by default (index.py; legacy remains available for modeled
-        # experiments). ``index_kind`` only applies when the router owns
-        # its machine — a caller-supplied machine keeps its own config.
+        # and epoch-deferred reclamation by default (index.py,
+        # reclaim.py; legacy/immediate remain available for modeled
+        # experiments). Both kinds only apply when the router owns its
+        # machine — a caller-supplied machine keeps its own config.
         if machine is None:
             from repro.params import MachineConfig, MemoryConfig
             machine = Machine(MachineConfig(
-                memory=MemoryConfig(index_kind=index_kind)))
+                memory=MemoryConfig(index_kind=index_kind,
+                                    reclaim_kind=reclaim_kind)))
         self.machine = machine
+        #: per-epoch drain bound applied between commit batches; the
+        #: deferral queue carries at most one batch's frees past this
+        self.reclaim_budget = max(1, reclaim_budget)
         self.servers = [backend_factory(self.machine)
                         for _ in range(shard_count)]
         self.handlers = [ProtocolHandler(server) for server in self.servers]
@@ -127,6 +134,7 @@ class ShardRouter:
         adapters.register_dram_stats(self.registry, self.machine.mem.dram)
         adapters.register_router(self.registry, self)
         adapters.register_index(self.registry, self.machine.mem.store)
+        adapters.register_reclaim(self.registry, self.machine.mem.store)
         # the structural memo (PLID-keyed build/merge/fingerprint caches)
         # is off by default machine-wide so modeled-DRAM experiments stay
         # exact; the serving stack opts in — hits bypass modeled lookup
@@ -174,9 +182,16 @@ class ShardRouter:
                          for i in range(len(self.servers))]
 
     async def drain(self) -> None:
-        """Wait until every enqueued commit has been applied."""
+        """Wait until every enqueued commit has been applied.
+
+        Also quiesces the epoch reclaimer (a no-op under ``immediate``),
+        so a drained router exposes exact state to audits, persistence
+        and replication FORGET flushing. :meth:`abort` deliberately does
+        not — a crash-stop leaves deferred frees behind by design.
+        """
         if self.queues:
             await asyncio.gather(*(queue.join() for queue in self.queues))
+        self.machine.mem.store.reclaim_quiesce()
 
     async def stop(self) -> None:
         """Flush pending commits, then stop the workers."""
@@ -404,6 +419,11 @@ class ShardRouter:
         if batch_span is not None:
             dram_probe.__exit__(None, None, None)
             recorder.end(batch_span, **dram_probe.attrs())
+        # epoch advancement between commit batches: drain a bounded
+        # slice of the frees this batch deferred (no-op under the
+        # immediate kind) so the queue stays shallow without putting
+        # subtree walks back on any commit's critical path
+        self.machine.mem.store.reclaim_advance(self.reclaim_budget)
 
     def _commit_merged_sets(self, shard: int, run,
                             batch_span: Optional[int] = None) -> None:
@@ -507,6 +527,7 @@ class ShardRouter:
             "footprint_bytes": self.machine.footprint_bytes(),
             "server": self.aggregate_server_stats(),
             "index": self.machine.mem.store.index_snapshot(),
+            "reclaim": self.machine.mem.store.reclaim_snapshot(),
         })
 
     def stats_response(self, args: List[bytes]) -> bytes:

@@ -28,6 +28,7 @@ __all__ = [
     "register_dram_stats",
     "register_router",
     "register_index",
+    "register_reclaim",
     "register_memo",
     "register_cluster",
     "register_eviction",
@@ -357,6 +358,60 @@ def register_index(registry: MetricsRegistry, store,
     registry.gauge(prefix + "resizing",
                    "1 while an incremental resize is draining",
                    fn=lambda: int(index.resizing))
+
+
+RECLAIM_PREFIX = "repro_reclaim_"
+
+#: drain outcomes exposed as one reason-labeled counter; keys match the
+#: ``drained_*`` fields of :class:`repro.memory.reclaim.ReclaimStats`
+RECLAIM_DRAIN_REASONS = ("freed", "resurrected", "stale")
+
+
+def register_reclaim(registry: MetricsRegistry, store,
+                     prefix: str = RECLAIM_PREFIX) -> None:
+    """Expose a :class:`DedupStore`'s reclamation state.
+
+    Registered for both kinds — under ``immediate`` the reclaimer
+    gauges read zero and only the free-list occupancy moves — so the
+    exposition schema never depends on the configured kind.
+    """
+    registry.gauge(prefix + "kind_info", "active reclamation kind",
+                   labels=("kind",),
+                   fn=lambda: {store.config.reclaim_kind: 1})
+    registry.gauge(prefix + "pending_lines",
+                   "deferred-dead lines awaiting drain",
+                   fn=lambda: store.reclaimer.pending()
+                   if store.reclaimer is not None else 0)
+    registry.gauge(prefix + "epoch", "current reclamation epoch",
+                   fn=lambda: store.reclaimer.epoch
+                   if store.reclaimer is not None else 0)
+    registry.counter(
+        prefix + "drained_total",
+        "deferral-queue entries processed, by drain outcome",
+        labels=("reason",),
+        fn=lambda: {
+            reason: getattr(store.reclaimer.stats, "drained_" + reason)
+            for reason in RECLAIM_DRAIN_REASONS
+        } if store.reclaimer is not None else
+        {reason: 0 for reason in RECLAIM_DRAIN_REASONS})
+    registry.counter(prefix + "deferred_total",
+                     "release-to-zero events deferred (O(1) frees)",
+                     fn=lambda: store.reclaimer.stats.deferred_total
+                     if store.reclaimer is not None else 0)
+    registry.counter(prefix + "epochs_total",
+                     "epoch advancements (router batch boundaries)",
+                     fn=lambda: store.reclaimer.stats.epochs_advanced
+                     if store.reclaimer is not None else 0)
+    registry.counter(prefix + "quiesces_total",
+                     "synchronous full drains",
+                     fn=lambda: store.reclaimer.stats.quiesces
+                     if store.reclaimer is not None else 0)
+    registry.gauge(prefix + "free_slots",
+                   "free-list occupancy: recyclable ways + overflow slots",
+                   fn=lambda: store.slots.free_slots())
+    registry.gauge(prefix + "free_overflow_slots",
+                   "recycled overflow-area PLIDs awaiting reuse",
+                   fn=lambda: len(store.slots.free_overflow))
 
 
 def register_router(registry: MetricsRegistry, router) -> None:

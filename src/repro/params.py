@@ -79,6 +79,15 @@ class MemoryConfig:
         index_target_fp_rate: target false-positive full-line-compare
             rate per probe; per-bucket fingerprint widths grow from 6
             toward 16 bits to hold observed density under this rate.
+        reclaim_kind: deallocation strategy when a refcount reaches
+            zero. ``"immediate"`` is the paper's recursive decrement
+            walk (subtree freed inline at the release site, dealloc
+            listeners fire immediately); ``"epoch"`` defers the subtree
+            walk to :class:`repro.memory.reclaim.EpochReclaimer` — the
+            release site is O(1) and the deferred lines drain in
+            bounded steps between commit batches, with a synchronous
+            ``quiesce()`` restoring immediate-equivalent state for
+            audits, persistence and replication.
     """
 
     line_bytes: int = 16
@@ -91,6 +100,7 @@ class MemoryConfig:
     index_buckets: int = 1 << 10
     index_slots: int = 4
     index_target_fp_rate: float = 0.02
+    reclaim_kind: str = "immediate"
 
     def __post_init__(self) -> None:
         if self.line_bytes % WORD_BYTES:
@@ -109,6 +119,10 @@ class MemoryConfig:
             raise ValueError("index_slots must be 1..8")
         if not 0.0 < self.index_target_fp_rate <= 1.0:
             raise ValueError("index_target_fp_rate must be in (0, 1]")
+        if self.reclaim_kind not in ("immediate", "epoch"):
+            raise ValueError(
+                "reclaim_kind must be 'immediate' or 'epoch', not %r"
+                % (self.reclaim_kind,))
 
     @property
     def words_per_line(self) -> int:

@@ -75,7 +75,16 @@ class FollowerSession:
         self.wake.set()
 
     def on_dealloc(self, plid: int) -> None:
-        """Store callback: a line died; its PLID may be reused."""
+        """Store callback: a line died; its PLID may be reused.
+
+        Under epoch-deferred reclamation this fires at *drain* time,
+        not when the count reaches zero — which is exactly what the
+        FORGET protocol needs: a deferred-dead line's slot cannot be
+        reused until it actually deallocates, so a PLID in ``known``
+        either still names that content or has been FORGOTten here
+        first. The router's ``drain()`` quiesces the reclaimer, so
+        forgets are flushed before any checkpoint or teardown.
+        """
         if plid in self.known:
             self.known.discard(plid)
             self.forgets.append(plid)

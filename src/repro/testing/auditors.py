@@ -31,6 +31,15 @@ bundles them into one :class:`AuditReport`.
 Auditors are read-mostly: the canonical-form rebuild allocates through
 the dedup store and releases everything it allocated, leaving the
 footprint unchanged on a healthy machine.
+
+**Quiesce-then-audit:** under ``MemoryConfig.reclaim_kind="epoch"``
+released-to-zero lines stay resident until the reclaimer drains, which
+would trip the refcount auditor's non-positive-count check. The drain
+at the top of :func:`audit_refcounts` goes through
+:meth:`repro.memory.system.MemorySystem.drain`, which quiesces the
+reclaimer first — so every audit observes quiesced, immediate-
+equivalent state regardless of the configured kind, and the auditors
+remain the oracle for the reclamation subsystem.
 """
 
 from __future__ import annotations
@@ -93,8 +102,13 @@ def audit_refcounts(machine: Machine, strict: bool = False) -> List[str]:
     held snapshots/iterators) a count *above* that is a leak and is
     reported as well.
     """
-    machine.drain()  # spill the deferred refcount cache first
+    # quiesce deferred reclamation, then spill the deferred RC cache
+    machine.drain()
     store = machine.mem.store
+    reclaimer = store.reclaimer
+    if reclaimer is not None and reclaimer.pending():
+        return ["reclaim: %d deferred lines survived quiesce"
+                % reclaimer.pending()]
     internal: Dict[int, int] = {}
     for line in store._lines.values():
         for child in line_child_plids(line):

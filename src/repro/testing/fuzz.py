@@ -76,6 +76,11 @@ class EpisodeConfig:
     #: online resizes to complete *during* the episode (0 = config
     #: default)
     index_buckets: int = 0
+    #: reclamation of the machine under test ("immediate" or "epoch").
+    #: Episodes quiesce the reclaimer before the machine auditors run
+    #: (via the router drain and ``audit_refcounts``'s machine drain),
+    #: and trace content is reclaim-kind-independent by construction.
+    reclaim_kind: str = "immediate"
 
 
 # ----------------------------------------------------------------------
@@ -319,6 +324,9 @@ class EpisodeResult:
     #: debug data outside the seed-deterministic ``trace`` (resize and
     #: migration progress depend on operation timing)
     index: Dict = field(default_factory=dict)
+    #: end-of-episode DedupStore.reclaim_snapshot() — debug data too
+    #: (drain timing depends on batch boundaries, never on the trace)
+    reclaim: Dict = field(default_factory=dict)
 
 
 async def _run_episode(seed: int, cfg: EpisodeConfig,
@@ -328,9 +336,11 @@ async def _run_episode(seed: int, cfg: EpisodeConfig,
         rates.update(cfg.rates)
     plan = FaultPlan(seed, rates, max_stall=cfg.max_stall)
     injector = FaultInjector(plan)
-    if cfg.index_kind != "legacy" or cfg.index_buckets:
+    if (cfg.index_kind != "legacy" or cfg.index_buckets
+            or cfg.reclaim_kind != "immediate"):
         from repro.params import MachineConfig, MemoryConfig
-        mem_kwargs = {"index_kind": cfg.index_kind}
+        mem_kwargs = {"index_kind": cfg.index_kind,
+                      "reclaim_kind": cfg.reclaim_kind}
         if cfg.index_buckets:
             mem_kwargs["index_buckets"] = cfg.index_buckets
         machine = Machine(MachineConfig(memory=MemoryConfig(**mem_kwargs)))
@@ -385,6 +395,9 @@ async def _run_episode(seed: int, cfg: EpisodeConfig,
             failures.extend("  " + line for line in verdict.witness)
     trace.append("linearizable=%s" % ("yes" if report.ok else "NO"))
 
+    # quiesce-then-audit: the reclaim snapshot is captured before the
+    # auditors quiesce so it reflects the episode's live drain behaviour
+    reclaim_snap = machine.mem.store.reclaim_snapshot()
     audit = audit_machine(machine, strict=True)
     failures.extend("audit: " + f for f in audit.failures)
     trace.append("audits=%s" % ("ok" if audit.ok else "FAILED"))
@@ -397,7 +410,8 @@ async def _run_episode(seed: int, cfg: EpisodeConfig,
     trace.append("result=%s" % ("ok" if ok else "FAILED"))
     return EpisodeResult(seed=seed, ok=ok, trace=trace, failures=failures,
                          fired=dict(injector.fired),
-                         index=machine.mem.store.index_snapshot())
+                         index=machine.mem.store.index_snapshot(),
+                         reclaim=reclaim_snap)
 
 
 def episode_seed(seed: int, index: int) -> int:

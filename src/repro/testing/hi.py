@@ -82,6 +82,11 @@ class HIConfig:
     #: initial cuckoo-table buckets (0 = config default); tiny values
     #: force online resizes during the schedules
     index_buckets: int = 0
+    #: reclamation kind of the schedule machines ("immediate" or
+    #: "epoch"); every observation point drains the machine first,
+    #: which quiesces the reclaimer, so fingerprints/footprints must be
+    #: identical under either kind
+    reclaim_kind: str = "immediate"
 
 
 def _derive(seed: int, label: str) -> int:
@@ -242,9 +247,11 @@ def _apply_map(target, schedule, mode: str, rng) -> None:
 def _execute(structure: str, schedule: Sequence[Tuple], mode: str,
              memo: bool, rng_seed: int, cfg: HIConfig) -> Observation:
     """One schedule on a fresh machine; returns its observation."""
-    if cfg.index_kind != "legacy" or cfg.index_buckets:
+    if (cfg.index_kind != "legacy" or cfg.index_buckets
+            or cfg.reclaim_kind != "immediate"):
         from repro.params import MachineConfig, MemoryConfig
-        mem_kwargs = {"index_kind": cfg.index_kind}
+        mem_kwargs = {"index_kind": cfg.index_kind,
+                      "reclaim_kind": cfg.reclaim_kind}
         if cfg.index_buckets:
             mem_kwargs["index_buckets"] = cfg.index_buckets
         machine = Machine(MachineConfig(memory=MemoryConfig(**mem_kwargs)))

@@ -114,3 +114,61 @@ def test_exposition_carries_labeled_server_series():
     latency = metrics.snapshot()["latency"]
     assert sample(parsed, "repro_server_latency_ms", quantile="p99_ms") \
         == latency["p99_ms"]
+
+
+def _churned_epoch_store():
+    from repro.memory.dedup_store import DedupStore
+    from repro.params import MemoryConfig
+
+    store = DedupStore(MemoryConfig(reclaim_kind="epoch"))
+    plids = [store.lookup((i + 1, i + 2))[0] for i in range(12)]
+    for plid in plids[:8]:
+        store.decref(plid)
+    store.lookup((1, 2))  # resurrect one deferred line
+    store.reclaim_advance(4)
+    return store
+
+
+def test_reclaim_registration_mirrors_snapshot():
+    store = _churned_epoch_store()
+    registry = MetricsRegistry()
+    adapters.register_reclaim(registry, store)
+    parsed = parse_exposition(registry.exposition())
+    snap = store.reclaim_snapshot()
+    assert sample(parsed, "repro_reclaim_kind_info", kind="epoch") == 1
+    assert sample(parsed, "repro_reclaim_pending_lines") \
+        == snap["pending_lines"] == store.reclaimer.pending()
+    assert sample(parsed, "repro_reclaim_epoch") == snap["epoch"]
+    for reason in adapters.RECLAIM_DRAIN_REASONS:
+        assert sample(parsed, "repro_reclaim_drained_total",
+                      reason=reason) == snap["drained_" + reason]
+    assert sample(parsed, "repro_reclaim_deferred_total") \
+        == snap["deferred_total"] == 8
+    assert sample(parsed, "repro_reclaim_free_slots") == snap["free_slots"]
+    # the registry is a live view, not a copy
+    store.reclaim_quiesce()
+    parsed = parse_exposition(registry.exposition())
+    assert sample(parsed, "repro_reclaim_pending_lines") == 0
+    assert sample(parsed, "repro_reclaim_quiesces_total") == 1
+
+
+def test_reclaim_schema_is_kind_independent():
+    from repro.memory.dedup_store import DedupStore
+    from repro.params import MemoryConfig
+
+    expositions = {}
+    for kind in ("immediate", "epoch"):
+        registry = MetricsRegistry()
+        adapters.register_reclaim(
+            registry, DedupStore(MemoryConfig(reclaim_kind=kind)))
+        parsed = parse_exposition(registry.exposition())
+        expositions[kind] = parsed
+        # stats-json consumers see every series under either kind
+        assert sample(parsed, "repro_reclaim_kind_info", kind=kind) == 1
+        assert sample(parsed, "repro_reclaim_pending_lines") == 0
+        for reason in adapters.RECLAIM_DRAIN_REASONS:
+            assert sample(parsed, "repro_reclaim_drained_total",
+                          reason=reason) == 0
+    # identical metric families (label *values* differ only on kind_info)
+    assert {name for name, _ in expositions["immediate"]} \
+        == {name for name, _ in expositions["epoch"]}

@@ -1,0 +1,336 @@
+"""Epoch-deferred reclamation: allocator, deferral, drain, quiesce,
+resurrection, and resize-aware RC-cache coverage
+(repro.memory.reclaim + MemoryConfig.reclaim_kind)."""
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.errors import BadPlidError
+from repro.memory.dedup_store import DedupStore
+from repro.memory.reclaim import EpochReclaimer, SlotAllocator
+from repro.params import MachineConfig, MemoryConfig, WORD_MASK
+from repro.structures import HMap
+
+
+def small_store(reclaim_kind="immediate", num_buckets=256, data_ways=4,
+                overflow=1024, **kwargs):
+    return DedupStore(MemoryConfig(num_buckets=num_buckets,
+                                   data_ways=data_ways,
+                                   overflow_lines=overflow,
+                                   reclaim_kind=reclaim_kind), **kwargs)
+
+
+def epoch_machine(**mem_kwargs):
+    return Machine(MachineConfig(
+        memory=MemoryConfig(reclaim_kind="epoch", **mem_kwargs)))
+
+
+def _segment_words(tag, count):
+    """Unique leaf words (no dedup against other segments)."""
+    return [((tag << 32) | (i + 1)) & WORD_MASK for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# SlotAllocator unit behaviour
+
+
+class TestSlotAllocator:
+    # data ways are 1-based: signatures[0] is the bucket's signature way
+
+    def test_claims_lowest_free_way(self):
+        alloc = SlotAllocator(data_ways=4)
+        signatures = [0, 0, 7, 0, 9]  # ways 2 and 4 occupied
+        assert alloc.claim_way(0, signatures) == 1
+        assert alloc.claim_way(0, signatures) == 3
+        assert alloc.claim_way(0, signatures) is None
+
+    def test_release_reopens_way_and_keeps_lowest_first(self):
+        alloc = SlotAllocator(data_ways=4)
+        signatures = [0, 1, 2, 3, 4]
+        assert alloc.claim_way(0, signatures) is None
+        alloc.release_way(0, 3)
+        alloc.release_way(0, 1)
+        # lowest-numbered freed way wins, matching the legacy scan
+        assert alloc.claim_way(0, signatures) == 1
+        assert alloc.claim_way(0, signatures) == 3
+        assert alloc.claim_way(0, signatures) is None
+
+    def test_mask_parity_with_signature_scan(self):
+        # the lazily-built mask must agree with a fresh signature scan
+        # in every occupancy pattern of a 4-way bucket
+        for pattern in range(16):
+            alloc = SlotAllocator(data_ways=4)
+            signatures = [0] + [1 if pattern & (1 << w) else 0
+                                for w in range(4)]
+            legacy = next((w for w in range(1, 5) if not signatures[w]),
+                          None)
+            assert alloc.claim_way(7, signatures) == legacy
+
+    def test_overflow_lifo_reuse(self):
+        alloc = SlotAllocator(data_ways=4)
+        assert alloc.claim_overflow() is None  # empty free list: grow
+        alloc.release_overflow(5000)
+        alloc.release_overflow(5001)
+        assert alloc.claim_overflow() == 5001  # LIFO, like the legacy pop
+        assert alloc.claim_overflow() == 5000
+        assert alloc.claim_overflow() is None
+        assert alloc.stats.overflow_reused == 2
+
+    def test_free_slots_accounting(self):
+        alloc = SlotAllocator(data_ways=4)
+        alloc.claim_way(0, [0, 0, 0, 0, 0])  # builds mask: 3 ways left
+        alloc.release_overflow(9000)
+        assert alloc.free_slots() == 4
+        snap = alloc.snapshot()
+        assert snap["free_ways"] == 3
+        assert snap["free_overflow"] == 1
+
+
+# ----------------------------------------------------------------------
+# immediate kind: byte-identical legacy behaviour, schema-safe snapshot
+
+
+class TestImmediateKind:
+    def test_no_reclaimer_and_inline_free(self):
+        store = small_store()
+        assert store.reclaimer is None
+        plid, _ = store.lookup((1, 2))
+        store.decref(plid)
+        assert store.footprint_lines() == 0
+        assert store.counters.deallocations == 1
+
+    def test_advance_and_quiesce_are_noops(self):
+        store = small_store()
+        assert store.reclaim_advance(16) == 0
+        assert store.reclaim_quiesce() == 0
+
+    def test_snapshot_schema_matches_epoch_kind(self):
+        immediate = small_store().reclaim_snapshot()
+        epoch = small_store(reclaim_kind="epoch").reclaim_snapshot()
+        assert immediate["kind"] == "immediate"
+        assert epoch["kind"] == "epoch"
+        # stats-json consumers must never see a kind-dependent schema
+        assert set(immediate) == set(epoch)
+        assert set(immediate["allocator"]) == set(epoch["allocator"])
+
+
+# ----------------------------------------------------------------------
+# epoch kind: O(1) defer, resurrection, stale entries, underflow
+
+
+class TestEpochDefer:
+    def test_release_to_zero_defers_instead_of_freeing(self):
+        store = small_store(reclaim_kind="epoch")
+        plid, _ = store.lookup((1, 2))
+        store.decref(plid)
+        assert store.refcount(plid) == 0
+        assert plid in store._lines  # resident, resurrectable
+        assert store.reclaimer.pending() == 1
+        assert store.counters.deallocations == 0
+        assert store.footprint_lines() == 1  # not reclaimed yet
+
+    def test_content_lookup_resurrects_deferred_line(self):
+        store = small_store(reclaim_kind="epoch")
+        plid, _ = store.lookup((1, 2))
+        store.decref(plid)
+        again, created = store.lookup((1, 2))
+        assert again == plid and not created  # same physical line
+        assert store.refcount(plid) == 1
+        # the queue entry is now moot: drain must skip it
+        assert store.reclaim_quiesce() == 0
+        assert store.reclaimer.stats.drained_resurrected == 1
+        assert plid in store._lines
+
+    def test_stale_queue_entry_after_refree(self):
+        store = small_store(reclaim_kind="epoch")
+        plid, _ = store.lookup((1, 2))
+        store.decref(plid)          # entry 1
+        store.lookup((1, 2))        # resurrect
+        store.decref(plid)          # entry 2, same plid
+        assert store.reclaimer.pending() == 2
+        store.reclaim_quiesce()
+        stats = store.reclaimer.stats
+        assert stats.drained_freed == 1
+        assert stats.drained_stale == 1  # second entry found the line gone
+        assert plid not in store._lines
+
+    def test_decref_of_deferred_line_underflows(self):
+        store = small_store(reclaim_kind="epoch")
+        plid, _ = store.lookup((1, 2))
+        store.decref(plid)
+        with pytest.raises(BadPlidError):
+            store.decref(plid)
+
+    def test_epoch_counter_advances(self):
+        store = small_store(reclaim_kind="epoch")
+        before = store.reclaimer.epoch
+        store.reclaim_advance(8)
+        store.reclaim_advance(8)
+        assert store.reclaimer.epoch == before + 2
+        assert store.reclaimer.stats.epochs_advanced == 2
+
+
+class TestEpochDrain:
+    def test_big_root_drop_is_one_deferral(self):
+        machine = epoch_machine()
+        store = machine.mem.store
+        vsid = machine.create_segment(_segment_words(1, 512))
+        deallocs_before = store.counters.deallocations
+        machine.drop_segment(vsid)
+        # O(1) hot path: one queue entry, zero lines walked or freed
+        assert store.reclaimer.pending() == 1
+        assert store.counters.deallocations == deallocs_before
+
+    def test_bounded_drain_progresses_incrementally(self):
+        machine = epoch_machine()
+        store = machine.mem.store
+        baseline = machine.footprint_lines()
+        vsid = machine.create_segment(_segment_words(1, 512))
+        machine.drop_segment(vsid)
+        freed_first = store.reclaim_advance(10)
+        assert freed_first <= 10
+        # interior children re-defer as the walk descends: still pending
+        assert store.reclaimer.pending() > 0
+        rounds = 0
+        while store.reclaimer.pending():
+            assert store.reclaim_advance(10) > 0, "drain stalled"
+            rounds += 1
+            assert rounds < 1000
+        assert rounds > 2  # genuinely incremental, not one big walk
+        assert machine.footprint_lines() == baseline
+
+    def test_quiesce_restores_baseline_footprint(self):
+        machine = epoch_machine()
+        store = machine.mem.store
+        baseline = machine.footprint_lines()
+        for tag in range(1, 4):
+            vsid = machine.create_segment(_segment_words(tag, 256))
+            machine.drop_segment(vsid)
+        assert store.reclaimer.pending() == 3
+        freed = store.reclaim_quiesce()
+        assert freed > 3  # whole subtrees, not just the roots
+        assert store.reclaimer.pending() == 0
+        assert machine.footprint_lines() == baseline
+
+    def test_dealloc_listeners_fire_at_drain_not_release(self):
+        machine = epoch_machine()
+        store = machine.mem.store
+        vsid = machine.create_segment(_segment_words(1, 64))
+        seen = []
+        store.dealloc_listeners.append(seen.append)
+        machine.drop_segment(vsid)
+        assert seen == []  # release-to-zero is silent
+        freed = store.reclaim_quiesce()
+        assert len(seen) == freed  # every actual free announced
+
+    def test_memory_system_drain_quiesces(self):
+        machine = epoch_machine()
+        store = machine.mem.store
+        vsid = machine.create_segment(_segment_words(1, 128))
+        machine.drop_segment(vsid)
+        assert store.reclaimer.pending() == 1
+        machine.drain()
+        assert store.reclaimer.pending() == 0
+
+    def test_plid_space_stays_bounded_under_churn(self):
+        # a tiny bucket array forces overflow allocation; without the
+        # free list every churn round would grow _next_overflow forever
+        store = small_store(reclaim_kind="epoch", num_buckets=4,
+                            data_ways=2, overflow=1 << 16)
+        for i in range(64):
+            plid, _ = store.lookup((i + 1, (i * 2654435761) & WORD_MASK))
+            store.decref(plid)
+            if i % 8 == 7:
+                store.reclaim_advance(64)
+        store.reclaim_quiesce()
+        high_water = store._next_overflow
+        for i in range(64, 256):
+            plid, _ = store.lookup((i + 1, (i * 2654435761) & WORD_MASK))
+            store.decref(plid)
+            if i % 8 == 7:
+                store.reclaim_advance(64)
+        # dozens of these allocations land in overflow; without the
+        # free list the space would grow by that much. A couple slots
+        # of slack covers peak-occupancy jitter between drain points.
+        assert store._next_overflow - high_water <= 2
+        stats = store.slots.stats
+        assert stats.ways_reused + stats.overflow_reused > 200
+        assert stats.overflow_reused > 0
+
+
+# ----------------------------------------------------------------------
+# satellite: resize-aware RC-cache sizing
+
+
+class TestRcCacheResize:
+    def _resized_store(self):
+        store = DedupStore(
+            MemoryConfig(index_kind="cuckoo", index_buckets=8),
+            rc_cache_entries=32)
+        plids = []
+        for i in range(400):
+            plid, _ = store.lookup((i + 1, (i * 2654435761) & WORD_MASK))
+            plids.append(plid)
+        assert store.index.stats.resizes_completed >= 1
+        return store, plids
+
+    def test_capacity_tracks_index_buckets(self):
+        store, _ = self._resized_store()
+        expected = max(store._rc_base_entries,
+                       store.index.num_buckets * store.index.slots)
+        assert store._rc_cache.capacity == expected
+        assert store._rc_cache.capacity > 32  # actually grew
+
+    def test_post_resize_hit_rate(self):
+        store, plids = self._resized_store()
+        # warm once, then measure: with capacity scaled past the live
+        # population every touch must hit; the un-resized 32-entry
+        # cache would thrash at ~8% hits on this working set
+        for plid in plids:
+            store.incref(plid)
+        cache = store._rc_cache
+        hits_before, touches = cache.hits, 0
+        for plid in plids:
+            store.incref(plid)
+            store.decref(plid)
+            touches += 2
+        hit_rate = (cache.hits - hits_before) / touches
+        assert hit_rate > 0.95, hit_rate
+
+    def test_reindex_reregisters_resize_listener(self):
+        store, _ = self._resized_store()
+        before = store._rc_cache.capacity
+        store.reindex()
+        assert store._on_index_resize in store._index.resize_listeners
+        # grow the population until the rebuilt index resizes again
+        for i in range(1000, 3000):
+            store.lookup((i + 1, (i * 40503) & WORD_MASK))
+            if store._rc_cache.capacity > before:
+                break
+        assert store._rc_cache.capacity > before
+
+
+# ----------------------------------------------------------------------
+# config validation
+
+
+class TestConfig:
+    def test_unknown_reclaim_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(reclaim_kind="deferred")
+
+    def test_router_serving_stack_defaults_to_epoch(self):
+        from repro.net.router import ShardRouter
+        router = ShardRouter(shard_count=2)
+        store = router.machine.mem.store
+        assert isinstance(store.reclaimer, EpochReclaimer)
+
+    def test_hmap_workload_quiesces_clean(self):
+        machine = epoch_machine()
+        kvp = HMap.create(machine)
+        for i in range(64):
+            kvp.put(b"k%02d" % (i % 8), b"v%04d" % i)
+        machine.drain()
+        assert machine.mem.store.reclaimer.pending() == 0
+        from repro.testing.auditors import audit_machine
+        assert audit_machine(machine, strict=True).ok
