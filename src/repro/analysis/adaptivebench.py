@@ -1,0 +1,297 @@
+"""`repro bench adaptive` — phase-shifting serving, every commit mode.
+
+One deterministic loadgen profile shifts through three phases —
+read-heavy snapshot traffic, a delete-churning write storm, then a
+skewed hot-key read-modify-write mix — and runs end to end against
+four otherwise-identical servers: the three static commit modes
+(``cas``, ``merge``, ``bulk``) and ``adaptive`` (repro.net.adaptive).
+The static modes are the before-picture: a server tuned for one phase
+gives the storm away in another (per-op CAS pays a commit per set;
+merge and static bulk split their runs at every read fence and
+delete/cas gap, so the storm commits in dribbles). The adaptive server
+detects the storm from its own window signals, enters bulk with the
+storm-staging posture (wide batches, key-disjoint fences and writes
+commuting around the staged run, reclaim deferred), then drops to
+per-op CAS when the hot-key RMW mix arrives. It must beat the *best*
+static mode end-to-end (``--check`` floors the ratio) while staying
+within 0.9× of each phase's best static mode, and the report must
+show at least one observed commit-mode switch per phase boundary —
+the controller actually reacting to the shift, not a lucky static
+choice.
+
+Wall-clock throughput on a shared host is noisy (±10% between
+identical runs), so every mode runs in its **own subprocess** (cold
+allocator, symmetric warmup) and the reported result per mode is the
+**median of ``reps`` runs** by end-to-end throughput.
+
+Every run is checked for client-side consistency (the loadgen's
+sequential oracle and shared-CAS legality); cross-mode *state*
+identity is pinned separately by tests/test_adaptive_differential.py,
+which replays identical schedules without racing CAS clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+from typing import Dict, List
+
+from repro.net.adaptive import AdaptiveConfig
+from repro.net.loadgen import PhaseSpec, run_loadgen
+from repro.net.server import MemcachedServer
+
+DEFAULT_OUT = "benchmarks/out/adaptive.json"
+
+#: The modes raced over the identical profile; adaptive must win.
+MODES = ("cas", "merge", "bulk", "adaptive")
+
+#: Workload geometry. The storm carries the largest op share because
+#: ingest bursts are where commit strategy dominates wall time; the
+#: hot-key phase is read-modify-write over a skewed key population
+#: (``gets``+``cas`` pairs), the mix where batching machinery buys
+#: nothing and per-op CAS is cheapest. Controller windows are short
+#: relative to a phase so a shift is detected within a few batches
+#: of the boundary.
+FULL_GEOMETRY = dict(shards=4, clients=6, pipeline=48,
+                     read_ops=800, storm_ops=3200, hot_ops=800,
+                     key_space=192, value_bytes=128, storm_del=0.25,
+                     storm_get=0.12, queue_depth=2048, batch_limit=16,
+                     skew=5.0, window=3, dwell=2, seed=7, reps=3)
+SMOKE_GEOMETRY = dict(shards=4, clients=4, pipeline=48,
+                      read_ops=300, storm_ops=2000, hot_ops=600,
+                      key_space=192, value_bytes=128, storm_del=0.25,
+                      storm_get=0.12, queue_depth=2048, batch_limit=16,
+                      skew=5.0, window=3, dwell=2, seed=7, reps=3)
+
+
+def _phases(geo: Dict) -> List[PhaseSpec]:
+    return [
+        PhaseSpec("read-heavy", ops=geo["read_ops"], get_ratio=0.92,
+                  set_bias=0.7, entropy=True),
+        PhaseSpec("write-storm", ops=geo["storm_ops"],
+                  get_ratio=geo["storm_get"],
+                  set_bias=0.97, del_ratio=geo["storm_del"],
+                  entropy=True),
+        PhaseSpec("hot-key", ops=geo["hot_ops"], get_ratio=0.35,
+                  set_bias=0.1, skew=geo["skew"], entropy=True),
+    ]
+
+
+async def _run_mode(mode: str, geo: Dict) -> Dict:
+    server = MemcachedServer(
+        port=0, shard_count=geo["shards"],
+        queue_depth=geo["queue_depth"], batch_limit=geo["batch_limit"],
+        commit_mode=mode,
+        adaptive_config=AdaptiveConfig(window=geo["window"],
+                                       dwell_epochs=geo["dwell"]))
+    await server.start()
+    try:
+        report = await run_loadgen(
+            "127.0.0.1", server.port, clients=geo["clients"],
+            ops_per_client=0, pipeline_depth=geo["pipeline"],
+            key_space=geo["key_space"], value_bytes=geo["value_bytes"],
+            seed=geo["seed"], phases=_phases(geo))
+        await server.router.drain()
+        controller = server.router.controller
+        out = {
+            "mode": mode,
+            "ops": report.ops,
+            "wall_seconds": round(report.wall_seconds, 3),
+            "ops_per_second": round(report.ops_per_second, 1),
+            "consistent": report.consistent,
+            "errors": report.errors,
+            "phases": report.phases,
+        }
+        if mode == "adaptive":
+            out["switches"] = list(controller.switch_log)
+            out["controller"] = controller.snapshot()
+        return out
+    finally:
+        await server.shutdown()
+
+
+def run_mode_once(mode: str, geo: Dict) -> Dict:
+    """One end-to-end run of ``mode``, cycle collection kept out of
+    the timed window (symmetric across modes, like reclaimbench)."""
+    import gc
+
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return asyncio.run(_run_mode(mode, geo))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _run_mode_isolated(mode: str, geo: Dict, reps: int) -> Dict:
+    """``reps`` subprocess runs of ``mode``; median by throughput.
+
+    Each rep is a fresh interpreter: same cold allocator, content
+    index and import state for every mode, and no cross-mode heap
+    pollution — the difference that remains is the commit strategy.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [p for p in sys.path if p] +
+        [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p])
+    runs = []
+    for _ in range(max(1, reps)):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.adaptivebench",
+             "--one-mode", mode, "--geometry", json.dumps(geo)],
+            capture_output=True, env=env)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                "adaptive bench subprocess (mode=%s) failed:\n%s"
+                % (mode, proc.stderr.decode("utf-8", "replace")))
+        runs.append(json.loads(proc.stdout.decode("utf-8")))
+    runs.sort(key=lambda r: r["ops_per_second"])
+    median = runs[len(runs) // 2]
+    median["reps"] = len(runs)
+    median["ops_per_second_runs"] = [r["ops_per_second"] for r in runs]
+    # phase-level noise is worse than end-to-end noise (short phases):
+    # report each phase's throughput as its own median across reps —
+    # op counts and section structure are deterministic, so sections
+    # stay comparable; only the timing fields are summarized
+    for idx, section in enumerate(median["phases"]):
+        speeds = sorted(r["phases"][idx]["ops_per_second"] for r in runs)
+        section["ops_per_second"] = speeds[len(speeds) // 2]
+    return median
+
+
+def run_adaptive_bench(smoke: bool = False, reps: int = 0,
+                       isolate: bool = True) -> Dict:
+    """Race all four modes over the identical phase-shifting profile.
+
+    ``reps`` overrides the geometry's median-of-N count (0 keeps it);
+    ``isolate=False`` runs in-process (single rep) — test-suite use.
+    """
+    geo = dict(SMOKE_GEOMETRY if smoke else FULL_GEOMETRY)
+    if reps:
+        geo["reps"] = reps
+    results = {}
+    for mode in MODES:
+        results[mode] = (_run_mode_isolated(mode, geo, geo["reps"])
+                         if isolate else run_mode_once(mode, geo))
+
+    statics = [m for m in MODES if m != "adaptive"]
+    best_static = max(statics,
+                      key=lambda m: results[m]["ops_per_second"])
+    adaptive = results["adaptive"]
+    end_to_end = round(
+        adaptive["ops_per_second"]
+        / max(1e-9, results[best_static]["ops_per_second"]), 3)
+
+    per_phase = {}
+    for idx, section in enumerate(adaptive["phases"]):
+        best = max(results[m]["phases"][idx]["ops_per_second"]
+                   for m in statics)
+        per_phase[section["name"]] = {
+            "adaptive_ops_per_second": section["ops_per_second"],
+            "best_static_ops_per_second": best,
+            "best_static_mode": max(
+                statics,
+                key=lambda m: results[m]["phases"][idx]["ops_per_second"]),
+            "ratio": round(section["ops_per_second"] / max(1e-9, best), 3),
+        }
+
+    return {
+        "bench": "adaptive",
+        "tier": "smoke" if smoke else "full",
+        "geometry": geo,
+        "modes": results,
+        "best_static": best_static,
+        "end_to_end_ratio": end_to_end,
+        "per_phase": per_phase,
+        "boundary_switches": _boundary_switches(adaptive),
+        "mode_sequence": [s["to"] for s in adaptive.get("switches", ())],
+    }
+
+
+def _boundary_switches(result: Dict) -> List[int]:
+    """Observed mode switches per phase boundary: a switch belongs to
+    boundary ``k`` when it fired after phase ``k`` began (controller
+    and loadgen share one monotonic clock domain)."""
+    phases = result["phases"]
+    starts = [section["t_start"] for section in phases]
+    counts = [0] * (len(phases) - 1)
+    for switch in result.get("switches", ()):
+        for k in range(len(phases) - 1, 0, -1):
+            if switch["t"] >= starts[k]:
+                counts[k - 1] += 1
+                break
+    return counts
+
+
+def check_floor(report: Dict, floor: float) -> List[str]:
+    """Floor violations (empty = pass): adaptive end-to-end throughput
+    must clear ``floor``× the best static mode, no phase may fall below
+    0.9× that phase's best static mode, every phase boundary must show
+    at least one observed mode switch, and every mode's run must be
+    client-consistent."""
+    problems = []
+    if report["end_to_end_ratio"] < floor:
+        problems.append(
+            "adaptive end-to-end %.3fx of best static (%s), below the "
+            "%.2fx floor" % (report["end_to_end_ratio"],
+                             report["best_static"], floor))
+    for name, entry in report["per_phase"].items():
+        if entry["ratio"] < 0.9:
+            problems.append(
+                "phase %s: adaptive at %.3fx of best static (%s), below "
+                "0.9x" % (name, entry["ratio"],
+                          entry["best_static_mode"]))
+    for k, count in enumerate(report["boundary_switches"]):
+        if count < 1:
+            problems.append(
+                "no mode switch observed at phase boundary %d" % (k + 1))
+    for mode, result in report["modes"].items():
+        if not result["consistent"]:
+            problems.append("%s run failed consistency checks" % mode)
+    return problems
+
+
+def render(report: Dict) -> str:
+    """Human-readable cross-mode table."""
+    from repro.analysis.reporting import format_table
+
+    phase_names = [s["name"] for s in report["modes"]["cas"]["phases"]]
+    rows = []
+    for mode in MODES:
+        result = report["modes"][mode]
+        row = [mode, result["ops_per_second"]]
+        row.extend(result["phases"][i]["ops_per_second"]
+                   for i in range(len(phase_names)))
+        row.append("yes" if result["consistent"] else "NO")
+        rows.append(row)
+    rows.append(["adaptive/best static",
+                 "%.2fx" % report["end_to_end_ratio"]]
+                + ["%.2fx" % report["per_phase"][name]["ratio"]
+                   for name in phase_names] + [""])
+    rows.append(["switches at boundaries", ""]
+                + [""] + [str(c) for c in report["boundary_switches"]]
+                + [""])
+    return format_table(
+        ["mode", "ops/s"] + phase_names + ["consistent"], rows,
+        title="adaptive serving (%s tier, best static: %s, modes %s)"
+        % (report["tier"], report["best_static"],
+           "->".join(["merge"] + report["mode_sequence"])))
+
+
+if __name__ == "__main__":
+    # subprocess entry point for per-mode isolation (see
+    # _run_mode_isolated); prints the mode's result dict as JSON
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="adaptivebench")
+    parser.add_argument("--one-mode", required=True, choices=MODES)
+    parser.add_argument("--geometry", required=True,
+                        help="geometry dict as JSON")
+    cli = parser.parse_args()
+    print(json.dumps(run_mode_once(cli.one_mode,
+                                   json.loads(cli.geometry))))

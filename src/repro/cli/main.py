@@ -115,7 +115,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             read_timeout=args.read_timeout,
             backend_factory=backend_factory,
             queue_depth=args.queue_depth, batch_limit=args.batch_limit,
-            commit_mode=args.commit_mode)
+            commit_mode=args.commit_mode,
+            reclaim_budget=args.reclaim_budget)
         await server.start()
         print("# repro serve: HICAMP memcached on %s:%d "
               "(%d shards; `stats json` for metrics; Ctrl-C to stop)"
@@ -156,8 +157,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
-    from repro.net.loadgen import ReadSplitPolicy, run_loadgen
+    from repro.net.loadgen import (ReadSplitPolicy, parse_phases,
+                                   run_loadgen)
 
+    phases = None
+    if args.phases:
+        try:
+            phases = parse_phases(args.phases)
+        except ValueError as exc:
+            print("repro loadgen: %s" % exc, file=sys.stderr)
+            return 2
     endpoints = None
     policy_factory = None
     if args.read_endpoint:
@@ -173,7 +182,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             ops_per_client=args.ops, pipeline_depth=args.pipeline,
             get_ratio=args.get_ratio, key_space=args.keys,
             value_bytes=args.value_bytes, seed=args.seed,
-            endpoints=endpoints, policy_factory=policy_factory))
+            endpoints=endpoints, policy_factory=policy_factory,
+            phases=phases))
     except OSError as exc:
         print("repro loadgen: cannot reach %s:%d: %s"
               % (args.host, args.port, exc), file=sys.stderr)
@@ -200,7 +210,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 ["stale reads", report.stale_reads]]
                if report.endpoints > 1 else [])
             + [["batch RTT p50 (ms)", latency["p50_ms"]],
-               ["batch RTT p99 (ms)", latency["p99_ms"]]],
+               ["batch RTT p99 (ms)", latency["p99_ms"]]]
+            + [["phase %s (%d ops)" % (p["name"], p["ops"]),
+                "%.1f ops/s" % p["ops_per_second"]]
+               for p in report.phases],
             title="loadgen against %s:%d" % (args.host, args.port)))
     return 0 if report.consistent and report.errors == 0 else 1
 
@@ -270,6 +283,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                             key_space=args.keys, shards=args.shards)
         cfg.index_kind = args.index_kind
         cfg.reclaim_kind = args.reclaim_kind
+        cfg.commit_mode = args.commit_mode
         report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
     elif args.profile == "cluster":
         from repro.cluster.fuzz import ClusterEpisodeConfig, run_fuzz
@@ -293,7 +307,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                             pipeline_depth=args.pipeline,
                             key_space=args.keys, shards=args.shards,
                             index_kind=args.index_kind,
-                            reclaim_kind=args.reclaim_kind)
+                            reclaim_kind=args.reclaim_kind,
+                            commit_mode=args.commit_mode)
         report = run_fuzz(episodes=args.episodes, seed=args.seed, cfg=cfg)
     print(report.render(verbose=args.verbose))
     return 0 if report.ok else 1
@@ -610,6 +625,29 @@ def _cmd_bench_reclaim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_adaptive(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import adaptivebench
+
+    report = adaptivebench.run_adaptive_bench(smoke=args.smoke)
+    out = pathlib.Path(args.out or adaptivebench.DEFAULT_OUT)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(adaptivebench.render(report))
+        print("  -> %s" % out)
+    if args.check is not None:
+        problems = adaptivebench.check_floor(report, args.check)
+        for problem in problems:
+            print("bench adaptive: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+    return 0
+
+
 def _cmd_bench_aggregate(args: argparse.Namespace) -> int:
     import json
 
@@ -645,6 +683,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_dedup_index(args)
     if args.target == "reclaim":
         return _cmd_bench_reclaim(args)
+    if args.target == "adaptive":
+        return _cmd_bench_adaptive(args)
     if args.target == "aggregate":
         return _cmd_bench_aggregate(args)
     report = run_hotpath(scale=args.scale)
@@ -749,12 +789,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-shard commit queue bound (backpressure)")
     p_srv.add_argument("--batch-limit", type=int, default=16,
                        help="max commits merged per shard batch")
-    p_srv.add_argument("--commit-mode", choices=("merge", "bulk"),
+    p_srv.add_argument("--commit-mode",
+                       choices=("merge", "bulk", "cas", "adaptive"),
                        default="merge",
                        help="how a shard worker lands a batched run of "
                             "sets: merge (absorb lost CASes via "
-                            "merge-update, the default) or bulk (one "
-                            "put_many tree rebuild per run)")
+                            "merge-update, the default), bulk (one "
+                            "put_many tree rebuild per run), cas "
+                            "(per-op compare-and-swap commits), or "
+                            "adaptive (a per-shard controller switches "
+                            "between the three online, with hysteresis)")
+    p_srv.add_argument("--reclaim-budget", type=int, default=512,
+                       help="deferred-reclaim segments drained per "
+                            "shard batch (adaptive mode retunes this "
+                            "online: raised when idle)")
     p_srv.add_argument("--quota", type=int, default=None,
                        help="per-machine byte quota (enables LRU eviction)")
     p_srv.add_argument("--metrics-json", default=None,
@@ -776,6 +824,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="keys per keyspace (private and shared)")
     p_lg.add_argument("--value-bytes", type=int, default=32)
     p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument("--phases", default=None,
+                      metavar="SPEC",
+                      help="phase-shifting profile: comma-separated "
+                           "specs, each name[:ops=N][:get=F][:skew=F]"
+                           "[:set=F][:del=F][:value=N][:entropy=0|1] "
+                           "(e.g. read:get=0.9,storm:get=0.05:set=0.95"
+                           ":del=0.2); phases without ops=N split the "
+                           "--ops budget; the report gains a per-phase "
+                           "section for each")
     p_lg.add_argument("--read-endpoint", action="append", default=[],
                       metavar="HOST:PORT",
                       help="replica endpoint for plain reads (repeatable; "
@@ -898,6 +955,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="reclamation of the machine under test "
                            "(serving/expiry/hi profiles); epoch defers "
                            "frees and quiesces before the auditors")
+    p_fz.add_argument("--commit-mode",
+                      choices=("merge", "bulk", "cas", "adaptive"),
+                      default="merge",
+                      help="router commit strategy of the server under "
+                           "test (serving/expiry profiles); adaptive "
+                           "episodes run a twitchy controller (short "
+                           "window, forced rotation) so mode switches "
+                           "land mid-episode under faults")
     p_fz.add_argument("--verbose", action="store_true",
                       help="print the full trace of passing episodes too")
     p_fz.set_defaults(func=_cmd_fuzz)
@@ -934,18 +999,22 @@ def build_parser() -> argparse.ArgumentParser:
              "read-scaling and recovery")
     p_bench.add_argument("target",
                          choices=("hotpath", "cluster", "scale",
-                                  "dedup-index", "reclaim", "aggregate"),
+                                  "dedup-index", "reclaim", "adaptive",
+                                  "aggregate"),
                          help="benchmark suite to run (dedup-index: "
                               "lookup-by-content cuckoo vs legacy at "
                               "overflow scale; reclaim: p99/p999 commit "
                               "latency under churny overwrites + "
                               "big-root drops, epoch vs immediate; "
-                              "aggregate: merge every bench JSON into "
-                              "benchmarks/out/trajectory.json)")
+                              "adaptive: phase-shifting serving raced "
+                              "across every commit mode, adaptive must "
+                              "beat the best static; aggregate: merge "
+                              "every bench JSON into benchmarks/out/"
+                              "trajectory.json)")
     p_bench.add_argument("--scale", type=int, default=1,
                          help="repetition multiplier (default 1)")
     p_bench.add_argument("--smoke", action="store_true",
-                         help="scale/dedup-index/reclaim: CI tier "
+                         help="scale/dedup-index/reclaim/adaptive: CI tier "
                               "(small key counts, seconds instead of "
                               "minutes)")
     p_bench.add_argument("--keys", type=int, default=0,
@@ -974,7 +1043,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "ratio is below it; reclaim: exit 1 if "
                               "the immediate/epoch p99 commit-latency "
                               "ratio is below it or post-quiesce state "
-                              "diverges")
+                              "diverges; adaptive: exit 1 if the "
+                              "adaptive/best-static end-to-end "
+                              "ratio is below it, any phase falls "
+                              "under 0.9x its best static, or a "
+                              "phase boundary shows no switch")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_demo = sub.add_parser("demo", help="one-minute architecture tour")

@@ -14,20 +14,31 @@ load path end to end:
 * :mod:`repro.net.metrics` — ops/s, latency percentiles, pipeline depth,
   CAS-retry and merge-commit counters (``stats`` / ``stats json``);
 * :mod:`repro.net.loadgen` — a pipelining multi-client load generator
-  with a built-in sequential-oracle consistency check.
+  with a built-in sequential-oracle consistency check;
+* :mod:`repro.net.adaptive` — the per-shard commit controller behind
+  ``commit_mode="adaptive"`` (online strategy switching with
+  hysteresis).
 """
 
+from repro.net.adaptive import (AdaptiveConfig, BatchSample,
+                                CommitController)
 from repro.net.framing import Frame, FrameDecoder
-from repro.net.loadgen import LoadgenClient, LoadgenReport, run_loadgen
+from repro.net.loadgen import (LoadgenClient, LoadgenReport, PhaseSpec,
+                               parse_phases, run_loadgen)
 from repro.net.metrics import ServerMetrics, latency_summary, percentile
 from repro.net.router import ConnectionState, ShardRouter
 from repro.net.server import MemcachedServer, serve
 
 __all__ = [
+    "AdaptiveConfig",
+    "BatchSample",
+    "CommitController",
     "Frame",
     "FrameDecoder",
     "LoadgenClient",
     "LoadgenReport",
+    "PhaseSpec",
+    "parse_phases",
     "run_loadgen",
     "ServerMetrics",
     "latency_summary",

@@ -1,0 +1,543 @@
+"""Contention-adaptive commit-strategy control for the shard router.
+
+The router has three commit strategies — per-op CAS (``"cas"``), staged
+merge-batches (``"merge"``, §4.3 merge-update absorbing lost CASes) and
+bulk ``put_many`` runs (``"bulk"``, one tree rebuild + one root CAS per
+run) — and until now picked one statically at startup. A server tuned
+for read-heavy snapshot traffic then collapses under a write storm and
+vice versa. Following the live implementation-swapping idea in
+"Adaptive Lock-Free Data Structures" (PAPERS.md), this module watches
+the router's own metrics and retunes each shard online.
+
+:class:`CommitController` keeps one lens per shard. The router feeds it
+a :class:`BatchSample` after every commit batch (writes, duplicate-key
+fraction, CAS retries, merge commits, queue depth, batch RTT) and a
+cheap ``note_read`` tick per inline snapshot read. Every
+``window`` batches the controller folds the accumulated window into
+signals and re-decides three knobs **per shard**:
+
+* **commit mode** — a set fraction ≤ ``enter_cas_set_frac`` selects
+  ``cas`` (read-modify-write traffic: ``cas``/``delete``/counter
+  frames can never join a batched run, so the run-building machinery
+  buys nothing and per-op commits are cheapest); write fraction ≥
+  ``enter_bulk_write_frac`` selects ``bulk`` (write storm: commits per
+  set are what matter, and put_many absorbs duplicate keys last-wins
+  so hot keys don't split runs); a duplicate-key fraction ≥
+  ``enter_dup_frac`` also prefers ``bulk`` (same-key staging is a true
+  conflict under merge, so merge runs must split exactly where bulk
+  runs coalesce); anything else settles on ``merge`` — the balanced
+  default;
+* **batch limit** — storms raise it to ``storm_batch_limit`` so each
+  queue drain coalesces more sets into one run;
+* **reclaim drain budget** — storm windows clamp it to
+  ``storm_reclaim_budget`` (by default the base rate: deferring the
+  walks measures as a net loss once the backlog dribbles through the
+  next phase), idle windows raise it to ``idle_reclaim_budget`` (the
+  PR 9 "idle-time drains" follow-on: catch up while nobody is
+  waiting);
+* **storm staging** (``hop_reads``) — while the controller holds a
+  shard in bulk mode, the router may resolve key-disjoint read fences
+  early and commute key-disjoint non-set writes around the staged
+  run, so one storm batch commits as one ``put_many`` instead of
+  splitting at every fence/delete/cas gap (per-key order untouched;
+  only the cross-key FIFO interleaving — never promised by memcached
+  — loosens, which is why the static modes stay strict).
+
+Mode changes are **hysteretic**: enter and exit thresholds differ, and
+after any switch the shard dwells for ``dwell_epochs`` evaluation
+windows before it may switch again — a metric stream hovering exactly
+on a threshold cannot oscillate (tests/test_adaptive_controller.py
+pins this with deterministic streams). Every transition emits a
+``commit_mode_switch`` trace span carrying the before/after knob
+values and the window signals that justified it, and lands in
+:attr:`CommitController.switch_log` stamped by the injectable clock.
+
+History independence makes all of this safe: every mode commits the
+same canonical DAG, so a mid-stream switch at a batch boundary is
+invisible to state (the differential suite proves fingerprints,
+footprints and refcounts identical across modes and mid-run switches).
+
+The controller *always* samples, even when adaptation is off — the
+``register_adaptive`` obs adapter exposes the raw inputs (per-shard
+queue depth, CAS retries, merge-commit rate, batch RTT histogram)
+under static modes too; only the retune step is gated on ``adaptive``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.trace import NULL_RECORDER
+
+__all__ = ["AdaptiveConfig", "BatchSample", "CommitController",
+           "COMMIT_MODES", "RTT_BUCKETS_MS"]
+
+#: The commit strategies a shard can run; ``"adaptive"`` at the router
+#: level means "start at merge, let the controller move within these".
+COMMIT_MODES = ("cas", "merge", "bulk")
+
+#: Batch-RTT histogram bounds (milliseconds). Controller-owned because
+#: the registry's Histogram is push-only; the adapter reads these as a
+#: cumulative ``le``-labelled counter, Prometheus-style.
+RTT_BUCKETS_MS = (0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+
+@dataclass
+class AdaptiveConfig:
+    """Hysteresis policy knobs. Defaults are tuned on the phase-shift
+    bench (`repro bench adaptive`); tests use tighter windows."""
+
+    #: commit batches per evaluation window
+    window: int = 4
+    #: evaluation windows a shard must dwell after a switch
+    dwell_epochs: int = 2
+    #: write fraction (writes / ops) that enters / keeps bulk mode
+    enter_bulk_write_frac: float = 0.55
+    exit_bulk_write_frac: float = 0.35
+    #: set fraction (sets / writes) at or below which the window is
+    #: read-modify-write dominated and enters per-op CAS mode; the
+    #: shard stays there until the set fraction recovers past the
+    #: (higher) exit threshold — the gap stops threshold flapping
+    enter_cas_set_frac: float = 0.35
+    exit_cas_set_frac: float = 0.55
+    #: duplicate-key fraction (dup set keys / sets) that prefers bulk
+    #: over merge (merge staging must split at repeats; put_many
+    #: absorbs them), with the matching lower exit threshold
+    enter_dup_frac: float = 0.30
+    exit_dup_frac: float = 0.12
+    #: write fraction at or below which a window counts as idle
+    idle_write_frac: float = 0.10
+    #: storm-onset fast path: a single *full* commit batch that is
+    #: almost all plain sets with backlog still queued behind it enters
+    #: bulk immediately instead of waiting out the window — entry is
+    #: cheap to get wrong (the next window corrects it) while every
+    #: merge-mode batch spent inside a storm costs a commit per run
+    #: split. Onset bypasses dwell; exits always take the full window
+    #: + dwell, which bounds any enter/exit cycle to one per
+    #: ``(dwell_epochs + 1) * window`` bulk batches. 0 disables. The
+    #: default leaves room for delete/cas churn riding along a storm
+    #: while staying far above any read-modify-write mix.
+    storm_onset_set_frac: float = 0.60
+    #: batch limit while in bulk (storm) mode
+    storm_batch_limit: int = 48
+    #: reclaim drain budget while in storm (bulk) mode. The default
+    #: equals the router's base budget — i.e. **no deferral**: on the
+    #: phase-shift bench, shrinking it buys the storm nothing once
+    #: storm staging amortizes the commits, while the deferred backlog
+    #: dribbles through whatever phase follows and costs far more than
+    #: it saved. Lower it only for profiles whose storms are genuinely
+    #: reclaim-bound and are followed by idle time
+    storm_reclaim_budget: int = 512
+    #: reclaim drain budget during idle windows (idle-time drains)
+    idle_reclaim_budget: int = 4096
+    #: storm-staging posture: while a shard is in (controller-entered)
+    #: bulk mode, the router may resolve key-disjoint read fences early
+    #: and commute key-disjoint non-set writes around a staged run, so
+    #: a storm batch commits as one ``put_many`` instead of splitting
+    #: at every fence/delete/cas gap. Off for static modes: it trades
+    #: cross-key FIFO interleaving (legal for memcached, but the
+    #: conservative default) and set-response latency (a hopped-over
+    #: set resolves with the whole widened run) for commit
+    #: amortization — exactly the trade you only want while a storm
+    #: is actually landing
+    hop_reads: bool = True
+    #: test/fuzz hook: force a rotation to the next available mode
+    #: every N batches, ignoring thresholds and dwell (0 = off)
+    rotate_every: int = 0
+
+    def validate(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.dwell_epochs < 0:
+            raise ValueError("dwell_epochs must be >= 0")
+        if self.exit_bulk_write_frac > self.enter_bulk_write_frac:
+            raise ValueError("bulk exit threshold above enter threshold")
+        if self.exit_cas_set_frac < self.enter_cas_set_frac:
+            raise ValueError("cas exit threshold below enter threshold")
+        if self.exit_dup_frac > self.enter_dup_frac:
+            raise ValueError("dup exit threshold above enter threshold")
+
+
+@dataclass
+class BatchSample:
+    """One commit batch as the router saw it (fed to ``observe_batch``)."""
+
+    writes: int = 0          #: write frames applied (fences excluded)
+    sets: int = 0            #: plain ``set`` frames among the writes
+    dup_sets: int = 0        #: sets whose key repeated within the batch
+    cas_retries: int = 0     #: true-conflict retries this batch
+    merge_commits: int = 0   #: lost CASes absorbed by merge-update
+    queue_depth: int = 0     #: shard queue depth after the drain
+    rtt_s: float = 0.0       #: wall time to apply the batch (seconds)
+    reclaim_pending: int = 0  #: deferred reclaim lines after the drain
+
+
+class _ShardLens(object):
+    """Per-shard controller state: knobs, window accumulators, totals."""
+
+    __slots__ = ("mode", "batch_limit", "reclaim_budget", "dwell",
+                 "batches", "epochs", "switches", "last_signals",
+                 "w_batches", "w_writes", "w_reads", "w_sets", "w_dups",
+                 "w_retries", "w_merges", "w_depth_max", "w_rtt_s",
+                 "w_pending",
+                 "writes", "reads", "sets", "dup_sets", "cas_retries",
+                 "merge_commits", "rtt_sum_ms", "queue_depth",
+                 "rtt_buckets")
+
+    def __init__(self, mode: str, batch_limit: int,
+                 reclaim_budget: int) -> None:
+        self.mode = mode
+        self.batch_limit = batch_limit
+        self.reclaim_budget = reclaim_budget
+        self.dwell = 0
+        self.batches = 0
+        self.epochs = 0
+        self.switches = 0
+        self.last_signals: Dict[str, float] = {}
+        self.w_batches = 0
+        self.w_writes = 0
+        self.w_reads = 0
+        self.w_sets = 0
+        self.w_dups = 0
+        self.w_retries = 0
+        self.w_merges = 0
+        self.w_depth_max = 0
+        self.w_rtt_s = 0.0
+        self.w_pending = 0
+        self.writes = 0
+        self.reads = 0
+        self.sets = 0
+        self.dup_sets = 0
+        self.cas_retries = 0
+        self.merge_commits = 0
+        self.rtt_sum_ms = 0.0
+        self.queue_depth = 0
+        self.rtt_buckets = [0] * (len(RTT_BUCKETS_MS) + 1)
+
+
+class CommitController:
+    """Per-shard online commit-strategy switching with hysteresis.
+
+    ``adaptive=False`` turns the controller into a pure observer: it
+    still accumulates the raw inputs the obs adapter exports, but every
+    shard keeps the startup mode and knobs forever. Capability flags
+    (``merge_ok``: all backends are plain ``HicampMemcached``;
+    ``bulk_ok``: all backends are ``BULK_SAFE``) bound what the policy
+    may pick — a target the backends can't serve degrades bulk→merge→cas
+    exactly like the router's static validation would.
+    """
+
+    def __init__(self, shard_count: int, mode: str = "merge", *,
+                 adaptive: bool = False,
+                 batch_limit: int = 16,
+                 reclaim_budget: int = 512,
+                 merge_ok: bool = True,
+                 bulk_ok: bool = True,
+                 config: Optional[AdaptiveConfig] = None,
+                 recorder=None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if mode not in COMMIT_MODES:
+            raise ValueError("initial mode must be one of %r"
+                             % (COMMIT_MODES,))
+        self.config = config if config is not None else AdaptiveConfig()
+        self.config.validate()
+        self.adaptive = adaptive
+        self.merge_ok = merge_ok
+        self.bulk_ok = bulk_ok
+        self.base_batch_limit = max(1, batch_limit)
+        self.base_reclaim_budget = max(1, reclaim_budget)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.clock = clock
+        mode = self._cap(mode)
+        self.shards = [_ShardLens(mode, self.base_batch_limit,
+                                  self.base_reclaim_budget)
+                       for _ in range(shard_count)]
+        #: every transition, in order: dicts with t/shard/from/to/reason
+        #: plus the window signals that justified it
+        self.switch_log: List[Dict] = []
+
+    # ------------------------------------------------------------------
+    # knobs the router reads at batch boundaries
+
+    def mode(self, shard: int) -> str:
+        """Commit mode the next batch on ``shard`` should use."""
+        return self.shards[shard].mode
+
+    def batch_limit(self, shard: int) -> int:
+        """Queue-drain coalescing limit for ``shard``'s next batch."""
+        return self.shards[shard].batch_limit
+
+    def reclaim_budget(self, shard: int) -> int:
+        """Epoch drain budget to spend after ``shard``'s next batch."""
+        return self.shards[shard].reclaim_budget
+
+    def hop_reads(self, shard: int) -> bool:
+        """Whether ``shard``'s next bulk batch runs the storm-staging
+        posture: key-disjoint fences resolve early and key-disjoint
+        non-set writes commute around the staged run instead of
+        splitting it. Controller-entered bulk mode only — the static
+        modes keep the conservative strict-FIFO run building."""
+        return (self.adaptive and self.config.hop_reads
+                and self.shards[shard].mode == "bulk")
+
+    # ------------------------------------------------------------------
+    # sampling
+
+    def note_read(self, shard: int) -> None:
+        """One inline snapshot read served on ``shard`` (cheap tick)."""
+        lens = self.shards[shard]
+        lens.w_reads += 1
+        lens.reads += 1
+
+    def observe_batch(self, shard: int, sample: BatchSample) -> None:
+        """Fold one applied commit batch into ``shard``'s window and,
+        when the window closes (every ``config.window`` batches) and
+        adaptation is on, re-decide the shard's knobs."""
+        lens = self.shards[shard]
+        cfg = self.config
+        lens.batches += 1
+        lens.w_batches += 1
+        lens.w_writes += sample.writes
+        lens.w_sets += sample.sets
+        lens.w_dups += sample.dup_sets
+        lens.w_retries += sample.cas_retries
+        lens.w_merges += sample.merge_commits
+        if sample.queue_depth > lens.w_depth_max:
+            lens.w_depth_max = sample.queue_depth
+        lens.w_rtt_s += sample.rtt_s
+        lens.w_pending = sample.reclaim_pending
+        lens.writes += sample.writes
+        lens.sets += sample.sets
+        lens.dup_sets += sample.dup_sets
+        lens.cas_retries += sample.cas_retries
+        lens.merge_commits += sample.merge_commits
+        lens.rtt_sum_ms += sample.rtt_s * 1e3
+        lens.queue_depth = sample.queue_depth
+        rtt_ms = sample.rtt_s * 1e3
+        for i, bound in enumerate(RTT_BUCKETS_MS):
+            if rtt_ms <= bound:
+                lens.rtt_buckets[i] += 1
+                break
+        else:
+            lens.rtt_buckets[-1] += 1
+        if (self.adaptive and cfg.rotate_every
+                and lens.batches % cfg.rotate_every == 0):
+            # forced rotation (fuzz hook): exercise every transition
+            # under faults regardless of what the traffic looks like
+            avail = [m for m in COMMIT_MODES if self._cap(m) == m]
+            nxt = avail[(avail.index(lens.mode) + 1) % len(avail)]
+            self._apply(shard, lens, nxt, "rotate",
+                        self._signals(lens))
+            self._reset_window(lens)
+            return
+        if (self.adaptive and self.bulk_ok and lens.mode != "bulk"
+                and cfg.storm_onset_set_frac
+                and sample.queue_depth > 0
+                and sample.writes >= int(0.8 * lens.batch_limit)
+                and sample.sets
+                >= cfg.storm_onset_set_frac * sample.writes):
+            # storm onset: full all-set batch with a backlog behind it
+            self._apply(shard, lens, "bulk", "storm-onset",
+                        self._signals(lens))
+            self._reset_window(lens)
+            return
+        if lens.w_batches < cfg.window:
+            return
+        signals = self._signals(lens)
+        lens.last_signals = signals
+        lens.epochs += 1
+        self._reset_window(lens)
+        if not self.adaptive:
+            return
+        if lens.dwell > 0:
+            lens.dwell -= 1
+            return
+        self._apply(shard, lens, self._target(lens.mode, signals),
+                    "policy", signals)
+
+    def force_mode(self, shard: int, mode: str) -> None:
+        """Test hook: switch ``shard`` now (capability-degraded),
+        emitting the same span/log a policy switch would."""
+        if mode not in COMMIT_MODES:
+            raise ValueError("mode must be one of %r" % (COMMIT_MODES,))
+        lens = self.shards[shard]
+        self._apply(shard, lens, self._cap(mode), "forced",
+                    self._signals(lens))
+
+    # ------------------------------------------------------------------
+    # policy
+
+    def _cap(self, mode: str) -> str:
+        """Degrade a target mode to what the backends can serve."""
+        if mode == "bulk" and not self.bulk_ok:
+            mode = "merge"
+        if mode == "merge" and not self.merge_ok:
+            mode = "cas"
+        return mode
+
+    def _target(self, mode: str, signals: Dict[str, float]) -> str:
+        """Hysteresis ladder: RMW traffic beats storms beats hot keys
+        beats the merge default."""
+        cfg = self.config
+        set_frac = signals["set_frac"]
+        dup = signals["dup_frac"]
+        wf = signals["write_frac"]
+        # read-modify-write dominated: cas/delete/counter frames never
+        # join a run, so batching machinery buys nothing per-op CAS
+        # wouldn't — and skips the run-building attempt per frame
+        if signals["writes"] and set_frac <= cfg.enter_cas_set_frac:
+            return "cas"
+        if mode == "cas" and set_frac < cfg.exit_cas_set_frac:
+            return "cas"
+        if self.bulk_ok:
+            if wf >= cfg.enter_bulk_write_frac:
+                return "bulk"
+            if mode == "bulk" and wf >= cfg.exit_bulk_write_frac:
+                return "bulk"
+            # hot-key sets: merge staging splits at repeated keys
+            # (true conflicts), put_many absorbs them last-wins
+            if dup >= cfg.enter_dup_frac:
+                return "bulk"
+            if mode == "bulk" and dup > cfg.exit_dup_frac:
+                return "bulk"
+        return self._cap("merge")
+
+    def _apply(self, shard: int, lens: _ShardLens, target: str,
+               reason: str, signals: Dict[str, float]) -> None:
+        """Apply a (possibly unchanged) target mode plus knob retune."""
+        cfg = self.config
+        old_mode = lens.mode
+        old_limit, old_budget = lens.batch_limit, lens.reclaim_budget
+        new_limit = (max(self.base_batch_limit, cfg.storm_batch_limit)
+                     if target == "bulk" else self.base_batch_limit)
+        # drain budget is decided by traffic, not by mode: defer the
+        # subtree walks while a storm is landing, catch up hard only
+        # once the shard goes read-mostly idle. (Catching up during a
+        # merely *non-storm* busy window measures worse than dribbling
+        # at the base rate — the burst walks land on the critical
+        # path.) Deferred lines stay accounted in the epoch pending
+        # list either way — this only moves *when* they are walked
+        # (and drain() at shutdown always finishes the job).
+        if (signals.get("write_frac", 1.0) <= cfg.idle_write_frac
+                and signals.get("queue_depth_max", 1) == 0):
+            new_budget = max(self.base_reclaim_budget,
+                             cfg.idle_reclaim_budget)
+        elif target == "bulk":
+            new_budget = min(self.base_reclaim_budget,
+                             cfg.storm_reclaim_budget)
+        else:
+            new_budget = self.base_reclaim_budget
+        if target != old_mode:
+            recorder = self.recorder
+            span = None
+            if recorder.enabled:
+                span = recorder.begin(
+                    "commit_mode_switch", shard=shard, reason=reason,
+                    from_mode=old_mode, to_mode=target,
+                    batch_limit=old_limit, reclaim_budget=old_budget,
+                    **signals)
+            lens.mode = target
+            lens.switches += 1
+            lens.dwell = cfg.dwell_epochs
+            self.switch_log.append({
+                "t": round(self.clock(), 6), "shard": shard,
+                "from": old_mode, "to": target, "reason": reason,
+                "signals": signals,
+            })
+            if span is not None:
+                recorder.end(span, new_batch_limit=new_limit,
+                             new_reclaim_budget=new_budget)
+        lens.batch_limit = new_limit
+        lens.reclaim_budget = new_budget
+
+    # ------------------------------------------------------------------
+    # window helpers
+
+    @staticmethod
+    def _reset_window(lens: _ShardLens) -> None:
+        lens.w_batches = 0
+        lens.w_writes = 0
+        lens.w_reads = 0
+        lens.w_sets = 0
+        lens.w_dups = 0
+        lens.w_retries = 0
+        lens.w_merges = 0
+        lens.w_depth_max = 0
+        lens.w_rtt_s = 0.0
+
+    @staticmethod
+    def _signals(lens: _ShardLens) -> Dict[str, float]:
+        ops = lens.w_writes + lens.w_reads
+        signals = {
+            "batches": lens.w_batches,
+            "writes": lens.w_writes,
+            "reads": lens.w_reads,
+            "write_frac": round(lens.w_writes / max(1, ops), 4),
+            "set_frac": round(lens.w_sets / max(1, lens.w_writes), 4),
+            "dup_frac": round(lens.w_dups / max(1, lens.w_sets), 4),
+            "cas_retries": lens.w_retries,
+            "merge_commits": lens.w_merges,
+            "queue_depth_max": lens.w_depth_max,
+            "reclaim_pending": lens.w_pending,
+            "batch_rtt_ms": round(
+                lens.w_rtt_s * 1e3 / max(1, lens.w_batches), 4),
+        }
+        return signals
+
+    # ------------------------------------------------------------------
+    # export (obs adapter + router snapshot)
+
+    def switches_total(self) -> int:
+        return sum(lens.switches for lens in self.shards)
+
+    def per_shard(self, attr: str) -> Dict[str, float]:
+        """``{shard label: value}`` for a lens attribute (adapter fn)."""
+        return {str(i): getattr(lens, attr)
+                for i, lens in enumerate(self.shards)}
+
+    def mode_counts(self) -> Dict[Tuple[str, str], int]:
+        """``{(shard, mode): 0|1}`` — Prometheus-style mode info."""
+        out: Dict[Tuple[str, str], int] = {}
+        for i, lens in enumerate(self.shards):
+            for mode in COMMIT_MODES:
+                out[(str(i), mode)] = 1 if lens.mode == mode else 0
+        return out
+
+    def rtt_bucket_counts(self) -> Dict[Tuple[str, str], int]:
+        """Cumulative ``{(shard, le): count}`` batch-RTT histogram."""
+        out: Dict[Tuple[str, str], int] = {}
+        for i, lens in enumerate(self.shards):
+            running = 0
+            bounds = [str(b) for b in RTT_BUCKETS_MS] + ["+Inf"]
+            for bound, count in zip(bounds, lens.rtt_buckets):
+                running += count
+                out[(str(i), bound)] = running
+        return out
+
+    def snapshot(self) -> Dict:
+        """JSON-safe controller state for ``stats json`` and benches."""
+        return {
+            "enabled": bool(self.adaptive),
+            "base_batch_limit": self.base_batch_limit,
+            "base_reclaim_budget": self.base_reclaim_budget,
+            "switches_total": self.switches_total(),
+            "shards": [{
+                "mode": lens.mode,
+                "batch_limit": lens.batch_limit,
+                "reclaim_budget": lens.reclaim_budget,
+                "batches": lens.batches,
+                "epochs": lens.epochs,
+                "switches": lens.switches,
+                "queue_depth": lens.queue_depth,
+                "writes": lens.writes,
+                "reads": lens.reads,
+                "dup_sets": lens.dup_sets,
+                "cas_retries": lens.cas_retries,
+                "merge_commits": lens.merge_commits,
+                "batch_rtt_ms_avg": round(
+                    lens.rtt_sum_ms / max(1, lens.batches), 4),
+                "signals": dict(lens.last_signals),
+            } for lens in self.shards],
+        }

@@ -37,6 +37,7 @@ from typing import Awaitable, Callable, Dict, List, Optional
 from repro.apps.memcached.protocol import CRLF, ProtocolHandler
 from repro.apps.memcached.server import HicampMemcached
 from repro.core.machine import Machine
+from repro.net.adaptive import AdaptiveConfig, BatchSample, CommitController
 from repro.net.framing import Frame
 from repro.net.metrics import ServerMetrics
 from repro.obs import adapters
@@ -46,6 +47,14 @@ from repro.obs.trace import NULL_RECORDER, DramProbe
 #: Commands that mutate the cache and therefore go through a commit queue.
 WRITE_COMMANDS = frozenset((b"set", b"add", b"replace", b"cas", b"delete",
                             b"incr", b"decr"))
+
+#: Non-``set`` writes that may commute around a staged bulk run when the
+#: controller's storm-staging posture is on and their key is disjoint
+#: from every key in the run. Applying such a frame against the
+#: committed snapshot *before* the run lands is indistinguishable from
+#: wire order for its own key (memcached orders per key, not across
+#: keys), so the run keeps growing instead of splitting.
+HOP_COMMANDS = WRITE_COMMANDS - {b"set"}
 
 #: Single- or multi-key snapshot reads, answered inline.
 READ_COMMANDS = frozenset((b"get", b"gets"))
@@ -87,16 +96,21 @@ class ShardRouter:
                  structural_memo: bool = True,
                  index_kind: str = "cuckoo",
                  reclaim_kind: str = "epoch",
-                 reclaim_budget: int = 512) -> None:
+                 reclaim_budget: int = 512,
+                 adaptive_config: Optional[AdaptiveConfig] = None) -> None:
         if shard_count < 1:
             raise ValueError("need at least one shard")
-        if commit_mode not in ("merge", "bulk"):
-            raise ValueError("commit_mode must be 'merge' or 'bulk'")
-        #: how a worker commits a run of batched sets: ``"merge"`` stages
-        #: each against one snapshot and lets merge-update absorb the
-        #: lost CASes (the §4.3 behaviour the latency model prices);
+        if commit_mode not in ("cas", "merge", "bulk", "adaptive"):
+            raise ValueError("commit_mode must be 'cas', 'merge', "
+                             "'bulk' or 'adaptive'")
+        #: how a worker commits a run of batched sets: ``"cas"`` applies
+        #: every write per-op through the protocol handler; ``"merge"``
+        #: stages each against one snapshot and lets merge-update absorb
+        #: the lost CASes (the §4.3 behaviour the latency model prices);
         #: ``"bulk"`` coalesces the run into one tree rebuild and one
-        #: root swap via the put_many bulk-ingest path.
+        #: root swap via the put_many bulk-ingest path; ``"adaptive"``
+        #: starts at merge and lets the :class:`CommitController` move
+        #: each shard between the three online (repro.net.adaptive).
         self.commit_mode = commit_mode
         #: optional :class:`repro.testing.faults.FaultInjector`; its
         #: ``before_commit`` hook stalls a shard worker between draining
@@ -156,10 +170,23 @@ class ShardRouter:
         # (plain or tenant-routed) supports
         self._merge_batches = all(type(s) is HicampMemcached
                                   for s in self.servers)
-        bulk_safe = all(getattr(type(s), "BULK_SAFE", False)
-                        for s in self.servers)
-        self._batch_runs = (self._merge_batches if commit_mode == "merge"
-                            else bulk_safe)
+        self._bulk_safe = all(getattr(type(s), "BULK_SAFE", False)
+                              for s in self.servers)
+        #: per-shard commit-strategy lens: always samples (the adapter
+        #: exports its raw inputs under static modes too); only
+        #: ``commit_mode="adaptive"`` lets it retune mode/batch
+        #: limit/reclaim budget online at batch boundaries
+        self.controller = CommitController(
+            shard_count,
+            "merge" if commit_mode == "adaptive" else commit_mode,
+            adaptive=(commit_mode == "adaptive"),
+            batch_limit=self.batch_limit,
+            reclaim_budget=self.reclaim_budget,
+            merge_ok=self._merge_batches,
+            bulk_ok=self._bulk_safe,
+            config=adaptive_config,
+            recorder=self.recorder)
+        adapters.register_adaptive(self.registry, self.controller)
         self.queues: List["asyncio.Queue"] = []
         self._workers: List["asyncio.Task"] = []
         #: callbacks fired as ``listener(shard, vsid, commits)`` after a
@@ -248,8 +275,9 @@ class ShardRouter:
             return await self._multi_get(frame, conn)
         if command in READ_COMMANDS and frame.key is not None:
             shard = self.shard_index(frame.key)
+            self.controller.note_read(shard)
             if conn.depends_on(shard) is not None:
-                fence = await self._enqueue_fence(shard)
+                fence = await self._enqueue_fence(shard, (frame.key,))
                 return asyncio.ensure_future(
                     self._read_after((fence,), shard, frame))
             return _completed(self.handlers[shard].handle(frame.raw))
@@ -272,11 +300,16 @@ class ShardRouter:
         conn.last_write[shard] = future
         return future
 
-    async def _enqueue_fence(self, shard: int) -> "asyncio.Future[bytes]":
+    async def _enqueue_fence(self, shard: int,
+                             keys=()) -> "asyncio.Future[bytes]":
+        # the fence carries the keys its reader is about to fetch: a
+        # storm-staging worker may resolve it early when none of them
+        # are in the staged run (an empty tuple means "all keys" —
+        # stats fences — and always splits the run)
         future: "asyncio.Future[bytes]" = \
             asyncio.get_running_loop().create_future()
         await self.queues[shard].put(
-            (Frame(raw=b"", command=FENCE), future, None))
+            (Frame(raw=b"", command=FENCE, args=list(keys)), future, None))
         return future
 
     async def _read_after(self, deps, shard: int, frame: Frame) -> bytes:
@@ -289,8 +322,13 @@ class ShardRouter:
 
     async def _multi_get(self, frame: Frame,
                          conn: ConnectionState) -> Awaitable[bytes]:
-        shards = {self.shard_index(key) for key in frame.args}
-        deps = [await self._enqueue_fence(shard) for shard in shards
+        by_shard: Dict[int, List[bytes]] = {}
+        for key in frame.args:
+            shard = self.shard_index(key)
+            self.controller.note_read(shard)
+            by_shard.setdefault(shard, []).append(key)
+        deps = [await self._enqueue_fence(shard, keys)
+                for shard, keys in by_shard.items()
                 if conn.depends_on(shard) is not None]
 
         async def fetch() -> bytes:
@@ -351,7 +389,10 @@ class ShardRouter:
         queue = self.queues[shard]
         while True:
             batch = [await queue.get()]
-            while len(batch) < self.batch_limit:
+            # the controller owns the coalescing limit per shard (it is
+            # just ``batch_limit`` under static modes); read it fresh
+            # every drain so storms widen batches immediately
+            while len(batch) < self.controller.batch_limit(shard):
                 try:
                     batch.append(queue.get_nowait())
                 except asyncio.QueueEmpty:
@@ -367,8 +408,26 @@ class ShardRouter:
                     queue.task_done()
 
     async def _apply_batch(self, shard: int, batch) -> None:
+        controller = self.controller
+        # mode is read once per batch: the safe mid-stream handoff point
+        # — fences and read-after-write ordering only depend on queue
+        # FIFO position, never on how a drained batch commits
+        mode = controller.mode(shard)
+        batch_runs = ((self._merge_batches if mode == "merge"
+                       else self._bulk_safe) if mode != "cas" else False)
         self.metrics.commit_batches += 1
         writes = sum(1 for frame, _, _ in batch if frame.command != FENCE)
+        # duplicate-set census, mode-independent (a shard running per-op
+        # CAS must still see the hot-key signal fade to switch back)
+        sets = dups = 0
+        seen: set = set()
+        for frame, _, _ in batch:
+            if frame.command == b"set" and frame.payload is not None:
+                sets += 1
+                if frame.key in seen:
+                    dups += 1
+                else:
+                    seen.add(frame.key)
         recorder = self.recorder
         batch_span = None
         dram_probe = None
@@ -381,18 +440,59 @@ class ShardRouter:
                 requests=[p for _, _, p in batch if p is not None])
             dram_probe = DramProbe(self.machine.mem.dram)
             dram_probe.__enter__()
+        # retry/merge counters are global; the deltas are exact unless a
+        # fence yield interleaves another shard's batch (sampling noise
+        # the hysteresis windows absorb)
+        retries_before = self.metrics.cas_retries
+        merges_before = self.metrics.merge_commits
+        batch_t0 = controller.clock()
+        # storm staging: while the controller holds this shard in bulk
+        # mode it may commute key-disjoint fences and non-set writes
+        # around a staged run instead of splitting it — per-key order
+        # is untouched (anything touching a staged key still splits),
+        # only the cross-key FIFO interleaving loosens, which memcached
+        # semantics never promised. The payoff is that a storm batch
+        # becomes one put_many instead of one per fence/delete/cas gap.
+        hop = (mode == "bulk" and batch_runs
+               and controller.hop_reads(shard))
         pending = list(batch)
         while pending:
             run, keys = [], set()
-            while pending and self._batch_runs:
-                frame, _, _ = pending[0]
-                if (frame.command == b"set" and frame.payload is not None
-                        and frame.key not in keys):
+            while pending and batch_runs:
+                frame, future, _ = pending[0]
+                if frame.command == b"set" and frame.payload is not None:
+                    if frame.key in keys and mode != "bulk":
+                        # staging one key twice against one snapshot is
+                        # a true conflict, so a merge run must split
+                        # here; put_many's documented last-wins dup
+                        # handling lets a bulk run absorb repeats
+                        # instead of splitting — under hot keys that is
+                        # bulk's whole advantage
+                        break
                     keys.add(frame.key)
                     run.append(pending.pop(0))
-                else:
+                    continue
+                if not hop or not run:
                     break
-            if len(run) > 1 and self.commit_mode == "bulk":
+                if frame.command == FENCE:
+                    if not frame.args \
+                            or any(k in keys for k in frame.args):
+                        break
+                    # the reader behind this fence fetches keys the
+                    # staged run never touches: resolve it now and
+                    # yield so the read lands before any later write
+                    # of those keys joins a run
+                    pending.pop(0)
+                    _resolve(future, b"")
+                    await asyncio.sleep(0)
+                    continue
+                if (frame.command in HOP_COMMANDS and frame.args
+                        and not any(arg in keys for arg in frame.args)):
+                    pending.pop(0)
+                    self._apply_one(shard, frame, future)
+                    continue
+                break
+            if len(run) > 1 and mode == "bulk":
                 self._commit_bulk_sets(shard, run, batch_span)
             elif len(run) > 1:
                 self._commit_merged_sets(shard, run, batch_span)
@@ -407,6 +507,7 @@ class ShardRouter:
                     await asyncio.sleep(0)
                 else:
                     self._apply_one(shard, frame, future)
+        batch_rtt_s = controller.clock() - batch_t0
         if writes:
             kvp = getattr(self.servers[shard], "kvp", None)
             vsid = kvp.vsid if kvp is not None else shard
@@ -422,8 +523,19 @@ class ShardRouter:
         # epoch advancement between commit batches: drain a bounded
         # slice of the frees this batch deferred (no-op under the
         # immediate kind) so the queue stays shallow without putting
-        # subtree walks back on any commit's critical path
-        self.machine.mem.store.reclaim_advance(self.reclaim_budget)
+        # subtree walks back on any commit's critical path. The budget
+        # is the controller's: shrunk during storms, raised when idle.
+        store = self.machine.mem.store
+        store.reclaim_advance(controller.reclaim_budget(shard))
+        reclaimer = store.reclaimer
+        controller.observe_batch(shard, BatchSample(
+            writes=writes, sets=sets, dup_sets=dups,
+            cas_retries=self.metrics.cas_retries - retries_before,
+            merge_commits=self.metrics.merge_commits - merges_before,
+            queue_depth=self.queues[shard].qsize(),
+            rtt_s=batch_rtt_s,
+            reclaim_pending=(reclaimer.pending()
+                             if reclaimer is not None else 0)))
 
     def _commit_merged_sets(self, shard: int, run,
                             batch_span: Optional[int] = None) -> None:
@@ -474,17 +586,23 @@ class ShardRouter:
 
         The entire run lands through :meth:`HicampMemcached.set_many` —
         one bottom-up tree rebuild and one root CAS for N keys, instead
-        of N staged commits absorbed by merge-update.
+        of N staged commits absorbed by merge-update. Repeated keys
+        inside the run coalesce to their last occurrence before staging
+        (FIFO last-wins, exactly what N sequential sets would leave), so
+        hot-key bursts cost one staged write per *unique* key.
         """
         server = self.servers[shard]
         recorder = self.recorder
+        last: Dict[bytes, bytes] = {}
+        for frame, _, _ in run:
+            last[frame.key] = frame.payload
         bulk_span = None
         if recorder.enabled:
             bulk_span = recorder.begin("bulk_commit", parent=batch_span,
-                                       shard=shard, staged=len(run))
+                                       shard=shard, staged=len(last),
+                                       coalesced=len(run) - len(last))
         try:
-            server.set_many([(frame.key, frame.payload)
-                             for frame, _, _ in run])
+            server.set_many(list(last.items()))
         except Exception as exc:
             response = b"SERVER_ERROR %s\r\n" \
                 % str(exc).encode("ascii", "replace")
@@ -528,6 +646,7 @@ class ShardRouter:
             "server": self.aggregate_server_stats(),
             "index": self.machine.mem.store.index_snapshot(),
             "reclaim": self.machine.mem.store.reclaim_snapshot(),
+            "adaptive": self.controller.snapshot(),
         })
 
     def stats_response(self, args: List[bytes]) -> bytes:

@@ -81,6 +81,14 @@ class EpisodeConfig:
     #: (via the router drain and ``audit_refcounts``'s machine drain),
     #: and trace content is reclaim-kind-independent by construction.
     reclaim_kind: str = "immediate"
+    #: router commit strategy of the server under test ("merge", "cas",
+    #: "bulk", or "adaptive"). Adaptive episodes run a deliberately
+    #: twitchy controller (short window, single-epoch dwell, forced
+    #: rotation) so mode switches land mid-episode, under faults, on a
+    #: tiny keyspace. Kept out of the episode trace header: trace
+    #: content is commit-mode-independent by construction, and the
+    #: linearizability + refcount auditors must hold across switches.
+    commit_mode: str = "merge"
 
 
 # ----------------------------------------------------------------------
@@ -348,6 +356,15 @@ async def _run_episode(seed: int, cfg: EpisodeConfig,
         machine = Machine()
     backend_kwargs = {} if cfg.backend is None \
         else {"backend_factory": cfg.backend}
+    if cfg.commit_mode != "merge":
+        backend_kwargs["commit_mode"] = cfg.commit_mode
+        if cfg.commit_mode == "adaptive":
+            from repro.net.adaptive import AdaptiveConfig
+            # twitchy on purpose: rotation forces a strategy handoff
+            # every few controller epochs even when the tiny episode
+            # workload would never cross a policy threshold
+            backend_kwargs["adaptive_config"] = AdaptiveConfig(
+                window=2, dwell_epochs=1, rotate_every=3)
     server = MemcachedServer(
         port=0, machine=machine, shard_count=cfg.shards,
         batch_limit=cfg.batch_limit, injector=injector,

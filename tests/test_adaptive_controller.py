@@ -1,0 +1,250 @@
+"""CommitController hysteresis, pinned with deterministic streams.
+
+Every test drives the controller directly with hand-built
+:class:`BatchSample` streams and a :class:`StepClock`, so the decision
+sequence is a pure function of the stream — no server, no sockets, no
+wall clock. What's pinned: threshold-hovering streams cannot oscillate
+(enter/exit gap + dwell), the storm-onset fast path, the hop_reads
+gate (controller-entered bulk only), the ``commit_mode_switch`` trace
+span contract, reclaim-budget retuning, capability degradation, and
+the observer posture when adaptation is off.
+"""
+
+import pytest
+
+from repro.net.adaptive import (AdaptiveConfig, BatchSample,
+                                CommitController, COMMIT_MODES)
+from repro.obs.trace import StepClock, TraceRecorder
+
+
+def controller(window=2, dwell=1, adaptive=True, **kwargs):
+    cfg_kwargs = {k: kwargs.pop(k) for k in list(kwargs)
+                  if hasattr(AdaptiveConfig, k)}
+    return CommitController(
+        1, kwargs.pop("mode", "merge"), adaptive=adaptive,
+        clock=StepClock(),
+        config=AdaptiveConfig(window=window, dwell_epochs=dwell,
+                              **cfg_kwargs),
+        **kwargs)
+
+
+def feed(ctl, writes=10, reads=0, sets=None, dups=0, depth=0,
+         retries=0, merges=0, rtt=0.001, shard=0):
+    """One batch: ``reads`` inline ticks then one BatchSample."""
+    for _ in range(reads):
+        ctl.note_read(shard)
+    ctl.observe_batch(shard, BatchSample(
+        writes=writes, sets=writes if sets is None else sets,
+        dup_sets=dups, cas_retries=retries, merge_commits=merges,
+        queue_depth=depth, rtt_s=rtt))
+
+
+def feed_window(ctl, **kwargs):
+    for _ in range(ctl.config.window):
+        feed(ctl, **kwargs)
+
+
+class TestHysteresis:
+    def test_stream_hovering_between_thresholds_never_oscillates(self):
+        # write_frac 0.45 sits inside the (exit 0.35, enter 0.55) gap:
+        # whatever mode the shard holds, it keeps it — forever
+        for start, expected in (("merge", "merge"), ("bulk", "bulk")):
+            ctl = controller(mode=start)
+            for _ in range(20):
+                feed(ctl, writes=9, reads=11)  # write_frac = 0.45
+            assert ctl.mode(0) == expected
+            assert ctl.switch_log == []
+
+    def test_enter_and_exit_use_different_thresholds(self):
+        ctl = controller(dwell=0)
+        feed_window(ctl, writes=11, reads=9)   # 0.55 >= enter -> bulk
+        assert ctl.mode(0) == "bulk"
+        feed_window(ctl, writes=7, reads=13)   # 0.35 == exit -> stays
+        assert ctl.mode(0) == "bulk"
+        feed_window(ctl, writes=6, reads=14)   # 0.30 < exit -> leaves
+        assert ctl.mode(0) == "merge"
+
+    def test_dwell_blocks_switching_for_configured_epochs(self):
+        ctl = controller(window=1, dwell=2)
+        feed(ctl, writes=10)                   # -> bulk, dwell starts
+        assert ctl.mode(0) == "bulk"
+        feed(ctl, writes=0, reads=10)          # dwell epoch 1: held
+        feed(ctl, writes=0, reads=10)          # dwell epoch 2: held
+        assert ctl.mode(0) == "bulk"
+        feed(ctl, writes=0, reads=10)          # dwell over: may leave
+        assert ctl.mode(0) == "merge"
+
+    def test_rmw_stream_enters_cas_and_needs_recovery_to_leave(self):
+        ctl = controller(dwell=0)
+        # sets are 30% of writes: read-modify-write dominated
+        feed_window(ctl, writes=10, sets=3)
+        assert ctl.mode(0) == "cas"
+        # recovery to 50% is still below the 0.55 exit: stays cas
+        feed_window(ctl, writes=10, sets=5)
+        assert ctl.mode(0) == "cas"
+        feed_window(ctl, writes=10, sets=10)
+        assert ctl.mode(0) != "cas"
+
+    def test_duplicate_heavy_sets_prefer_bulk_over_merge(self):
+        ctl = controller(dwell=0)
+        # balanced write_frac (0.5, below bulk enter) but every third
+        # set repeats a key: merge staging would split at each repeat
+        feed_window(ctl, writes=10, reads=10, dups=4)
+        assert ctl.mode(0) == "bulk"
+        assert ctl.switch_log[-1]["signals"]["dup_frac"] >= 0.30
+
+    def test_switch_log_stamped_by_injected_clock(self):
+        ctl = controller(window=1, dwell=0)
+        feed(ctl, writes=10)
+        feed(ctl, writes=0, reads=10)
+        stamps = [s["t"] for s in ctl.switch_log]
+        assert len(stamps) == 2 and stamps[0] < stamps[1]
+        assert stamps[-1] < 1.0  # StepClock time, not wall time
+
+
+class TestStormOnset:
+    def test_full_set_batch_with_backlog_enters_bulk_immediately(self):
+        ctl = controller(window=8, dwell=2)  # window would take 8
+        feed(ctl, writes=16, depth=5)        # one full all-set batch
+        assert ctl.mode(0) == "bulk"
+        assert ctl.switch_log[-1]["reason"] == "storm-onset"
+
+    def test_onset_needs_backlog_and_a_full_batch(self):
+        ctl = controller(window=8)
+        feed(ctl, writes=16, depth=0)        # no backlog behind it
+        assert ctl.mode(0) == "merge"
+        feed(ctl, writes=3, depth=5)         # backlog but tiny batch
+        assert ctl.mode(0) == "merge"
+
+    def test_onset_respects_mixed_writes(self):
+        ctl = controller(window=8)
+        feed(ctl, writes=16, sets=6, depth=5)  # sets < 60% of writes
+        assert ctl.mode(0) == "merge"
+
+
+class TestKnobs:
+    def test_bulk_mode_raises_batch_limit_and_back(self):
+        ctl = controller(window=1, dwell=0, storm_batch_limit=48)
+        assert ctl.batch_limit(0) == 16
+        feed(ctl, writes=10)
+        assert ctl.batch_limit(0) == 48
+        feed(ctl, writes=0, reads=10)
+        assert ctl.mode(0) == "merge" and ctl.batch_limit(0) == 16
+
+    def test_idle_windows_raise_the_reclaim_budget(self):
+        ctl = controller(window=1, dwell=0, idle_reclaim_budget=4096)
+        assert ctl.reclaim_budget(0) == 512
+        feed(ctl, writes=0, reads=10, depth=0)   # idle: catch up
+        assert ctl.reclaim_budget(0) == 4096
+        feed(ctl, writes=5, reads=5)             # busy again: base rate
+        assert ctl.reclaim_budget(0) == 512
+
+    def test_storm_budget_clamps_only_below_base(self):
+        # the default storm budget equals the base rate (no deferral);
+        # an explicit lower value defers during bulk windows
+        ctl = controller(window=1, dwell=0, storm_reclaim_budget=16)
+        feed(ctl, writes=10)
+        assert ctl.mode(0) == "bulk" and ctl.reclaim_budget(0) == 16
+
+    def test_hop_reads_requires_controller_entered_bulk(self):
+        ctl = controller(window=1, dwell=0)
+        assert not ctl.hop_reads(0)              # merge: strict FIFO
+        feed(ctl, writes=10)
+        assert ctl.mode(0) == "bulk" and ctl.hop_reads(0)
+        static = controller(adaptive=False, mode="bulk")
+        assert static.mode(0) == "bulk" and not static.hop_reads(0)
+        gated = controller(window=1, dwell=0, hop_reads=False)
+        feed(gated, writes=10)
+        assert gated.mode(0) == "bulk" and not gated.hop_reads(0)
+
+
+class TestSpans:
+    def test_switch_emits_span_with_before_and_after_knobs(self):
+        recorder = TraceRecorder(clock=StepClock())
+        ctl = CommitController(
+            1, "merge", adaptive=True, recorder=recorder,
+            clock=StepClock(),
+            config=AdaptiveConfig(window=1, dwell_epochs=0))
+        feed(ctl, writes=10)
+        spans = recorder.find("commit_mode_switch")
+        assert len(spans) == 1
+        attrs = spans[0].attrs
+        assert attrs["from_mode"] == "merge"
+        assert attrs["to_mode"] == "bulk"
+        assert attrs["batch_limit"] == 16           # before
+        assert attrs["new_batch_limit"] == 48       # after
+        assert attrs["write_frac"] == 1.0           # the justification
+        assert spans[0].end is not None
+
+    def test_unchanged_target_emits_no_span(self):
+        recorder = TraceRecorder(clock=StepClock())
+        ctl = CommitController(
+            1, "merge", adaptive=True, recorder=recorder,
+            clock=StepClock(),
+            config=AdaptiveConfig(window=1, dwell_epochs=0))
+        feed(ctl, writes=5, reads=5)
+        assert recorder.find("commit_mode_switch") == []
+
+
+class TestObserverPosture:
+    def test_disabled_controller_never_switches_but_still_samples(self):
+        ctl = controller(adaptive=False, window=1)
+        for _ in range(6):
+            feed(ctl, writes=10, reads=2, rtt=0.004)
+        assert ctl.mode(0) == "merge"
+        assert ctl.switch_log == [] and ctl.switches_total() == 0
+        snap = ctl.snapshot()
+        assert snap["enabled"] is False
+        assert snap["shards"][0]["writes"] == 60
+        assert snap["shards"][0]["reads"] == 12
+        # the raw-input exports the adapter reads are live regardless
+        assert ctl.per_shard("queue_depth") == {"0": 0}
+        assert sum(ctl.rtt_bucket_counts().values()) > 0
+        assert ctl.mode_counts()[("0", "merge")] == 1
+
+    def test_rotation_hook_cycles_available_modes(self):
+        ctl = controller(window=8, dwell=5, rotate_every=2)
+        seen = []
+        for _ in range(6):
+            feed(ctl, writes=1, reads=9)
+            seen.append(ctl.mode(0))
+        # merge -> bulk -> cas -> merge, one hop every second batch
+        assert seen == ["merge", "bulk", "bulk", "cas", "cas", "merge"]
+        assert all(s["reason"] == "rotate" for s in ctl.switch_log)
+
+    def test_capability_degrade_bounds_policy_targets(self):
+        no_bulk = CommitController(
+            1, "merge", adaptive=True, bulk_ok=False,
+            clock=StepClock(),
+            config=AdaptiveConfig(window=1, dwell_epochs=0))
+        feed(no_bulk, writes=10)       # storm, but bulk unavailable
+        assert no_bulk.mode(0) == "merge"
+        cas_only = CommitController(
+            1, "cas", adaptive=True, merge_ok=False, bulk_ok=False,
+            clock=StepClock(),
+            config=AdaptiveConfig(window=1, dwell_epochs=0))
+        feed(cas_only, writes=0, reads=10)
+        assert cas_only.mode(0) == "cas"
+        cas_only.force_mode(0, "bulk")  # degrades bulk -> merge -> cas
+        assert cas_only.mode(0) == "cas"
+
+    def test_config_validation_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(enter_bulk_write_frac=0.3,
+                           exit_bulk_write_frac=0.5).validate()
+        with pytest.raises(ValueError):
+            AdaptiveConfig(enter_cas_set_frac=0.6,
+                           exit_cas_set_frac=0.4).validate()
+        with pytest.raises(ValueError):
+            AdaptiveConfig(window=0).validate()
+        with pytest.raises(ValueError):
+            CommitController(1, "sideways")
+
+    def test_force_mode_logs_like_a_policy_switch(self):
+        ctl = controller()
+        ctl.force_mode(0, "bulk")
+        assert ctl.mode(0) == "bulk"
+        entry = ctl.switch_log[-1]
+        assert entry["reason"] == "forced"
+        assert entry["from"] == "merge" and entry["to"] == "bulk"
+        assert COMMIT_MODES == ("cas", "merge", "bulk")

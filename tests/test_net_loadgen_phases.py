@@ -1,0 +1,145 @@
+"""Phase-shifting loadgen: ``--phases`` parsing, per-phase report
+sections, delete-churn tombstones, and byte-compat guarantees for the
+classic single-mix path (same RNG stream, same JSON schema)."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.net.loadgen import (LoadgenClient, PhaseSpec, parse_phases,
+                               run_loadgen)
+from repro.net.server import MemcachedServer
+
+
+class TestParsePhases:
+    def test_full_spec_round_trips_every_field(self):
+        phases = parse_phases(
+            "read:ops=400:get=0.9,"
+            "storm:ops=600:get=0.05:set=0.95:del=0.2:value=256:entropy=1,"
+            "hot:skew=3.5:entropy=0")
+        assert [p.name for p in phases] == ["read", "storm", "hot"]
+        read, storm, hot = phases
+        assert (read.ops, read.get_ratio) == (400, 0.9)
+        assert storm.set_bias == 0.95 and storm.del_ratio == 0.2
+        assert storm.value_bytes == 256 and storm.entropy
+        assert hot.ops == 0 and hot.skew == 3.5 and not hot.entropy
+        # unspecified fields keep the PhaseSpec defaults
+        assert hot.set_bias == 0.7 and hot.del_ratio == 0.0
+
+    def test_bad_fields_raise_with_the_offending_part(self):
+        with pytest.raises(ValueError, match="bogus"):
+            parse_phases("a:bogus=1")
+        with pytest.raises(ValueError, match="get=x"):
+            parse_phases("a:get=x")
+        with pytest.raises(ValueError, match="empty"):
+            parse_phases("a,,b")
+
+    def test_unsized_phases_split_the_total_budget(self):
+        client = LoadgenClient(
+            0, "h", 0, ops=90, pipeline_depth=4, get_ratio=0.5,
+            key_space=8, value_bytes=16, seed=1,
+            phases=parse_phases("a,b:ops=30,c"))
+        assert [p.ops for p in client.phases] == [30, 30, 30]
+        assert client.ops == 90
+
+
+def _run(phases=None, clients=2, ops=48, seed=9, **kwargs):
+    async def scenario():
+        async with MemcachedServer(port=0, shard_count=2) as server:
+            return await run_loadgen(
+                "127.0.0.1", server.port, clients=clients,
+                ops_per_client=ops, pipeline_depth=4, key_space=8,
+                value_bytes=32, seed=seed, phases=phases, **kwargs)
+
+    return asyncio.run(scenario())
+
+
+class TestPhaseSections:
+    def test_report_gains_one_section_per_phase(self):
+        report = _run(parse_phases(
+            "read:ops=16:get=0.9,storm:ops=24:get=0.05:set=0.95:del=0.2,"
+            "hot:ops=8:skew=4"))
+        assert report.consistent and report.errors == 0
+        names = [s["name"] for s in report.phases]
+        assert names == ["read", "storm", "hot"]
+        # counters diff cleanly: sections sum to the run totals
+        assert sum(s["ops"] for s in report.phases) == report.ops
+        assert sum(s["stored"] for s in report.phases) == report.stored
+        assert sum(s["deleted"] for s in report.phases) == report.deleted
+        starts = [s["t_start"] for s in report.phases]
+        assert starts == sorted(starts)
+        for section in report.phases:
+            assert section["ops"] > 0
+            assert section["t_end"] >= section["t_start"]
+            assert section["ops_per_second"] > 0
+            assert "p99_ms" in section["batch_rtt"]
+        # the delete churn really landed, in the storm section
+        assert report.deleted > 0
+        assert report.phases[1]["deleted"] == report.deleted
+        assert report.as_dict()["phases"] == report.phases
+
+    def test_delete_churn_tombstones_survive_verification(self):
+        # the final private readback asserts tombstoned keys stay dead
+        # (a get_hit on one would be an oracle mismatch); a tiny
+        # keyspace with heavy churn makes delete/set races the norm
+        report = _run(parse_phases("churn:del=0.4:get=0.2:set=0.9"),
+                      ops=120, seed=13)
+        assert report.deleted > 10
+        assert report.consistent and report.oracle_mismatches == 0
+        assert report.oracle_checked > 0
+
+
+class TestClassicByteCompat:
+    def test_phaseless_json_schema_is_unchanged(self):
+        report = _run(None)
+        doc = report.as_dict()
+        # no "phases", "deleted" or fleet keys on a classic run: the
+        # JSON stays byte-compatible with every report ever written
+        assert "phases" not in doc and "deleted" not in doc
+        assert "endpoints" not in doc
+        assert report.consistent
+
+    def test_del_ratio_zero_draws_the_classic_rng_stream(self):
+        # band layout regression pin: with del_ratio=0 the planner must
+        # consume the RNG exactly like the historical two-band code
+        client = LoadgenClient(
+            0, "h", 0, ops=64, pipeline_depth=8, get_ratio=0.35,
+            key_space=8, value_bytes=16, seed=21)
+        planned = [client._plan_batch(8) for _ in range(8)]
+
+        def classic_plan(seed, get_ratio=0.35, set_bias=0.7):
+            rng = random.Random((seed << 16) | 0)  # client 0's stream
+            kinds = []
+            for _ in range(64):
+                roll = rng.random()
+                if roll < get_ratio:
+                    rng.random()   # shared-vs-private pick
+                    rng.randrange(8)
+                    kinds.append("get")
+                elif roll < get_ratio + (1 - get_ratio) * set_bias:
+                    rng.randrange(8)
+                    kinds.append("set")
+                else:
+                    rng.randrange(8)
+                    kinds.append("gets")
+            return kinds
+
+        flat = [kind for batch in planned for kind, _, _ in batch]
+        assert flat == classic_plan(21)
+
+    def test_single_phase_run_matches_phaseless_totals(self):
+        # one phase with the classic knobs = the classic run, op for op
+        phaseless = _run(None)
+        single = _run([PhaseSpec("all", get_ratio=0.5)])
+        assert single.ops == phaseless.ops
+        assert single.stored == phaseless.stored
+        assert single.get_hits == phaseless.get_hits
+        assert single.cas_stored == phaseless.cas_stored
+        assert len(single.phases) == 1
+        doc = single.as_dict()
+        doc.pop("phases")
+        base = phaseless.as_dict()
+        # timing fields aside, the schemas line up key for key
+        for key in set(doc) | set(base):
+            assert key in doc and key in base
